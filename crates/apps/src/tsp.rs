@@ -1,0 +1,385 @@
+//! TSP — branch-and-bound travelling salesman (§5, §6.4).
+//!
+//! A shared work queue of partial tours and a shared best-tour bound,
+//! both lock-protected (TSP is the one lock-only application in the
+//! suite). Processors pop partial tours, expand them breadth-first until
+//! a split depth, then solve the subtree locally, updating the global
+//! bound. Updates to the queue and bound modify a couple of words — the
+//! paper's *small* write granularity, with little write-write false
+//! sharing (the queue pages are lock-ordered).
+
+use adsm_core::{ProtocolKind, SharedVec};
+
+use crate::support::{unit_f64, work};
+use crate::{AppRun, RunOptions, Scale};
+
+/// TSP input parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TspParams {
+    /// Number of cities.
+    pub ncities: usize,
+    /// Depth up to which partial tours go through the shared queue.
+    pub split_depth: usize,
+    /// Instance seed.
+    pub seed: u64,
+    /// Modelled compute per expanded node, in nanoseconds.
+    pub ns_per_node: u64,
+}
+
+impl TspParams {
+    /// Parameters for a scale preset.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => TspParams {
+                ncities: 9,
+                split_depth: 3,
+                seed: 0x75_90,
+                ns_per_node: 900,
+            },
+            Scale::Small => TspParams {
+                ncities: 11,
+                split_depth: 3,
+                seed: 0x75_90,
+                ns_per_node: 150_000,
+            },
+            // Paper: 19 cities. Verification uses Held-Karp, whose
+            // memory grows as n * 2^n, so the paper preset uses 13
+            // cities (same queue/bound sharing pattern).
+            Scale::Paper => TspParams {
+                ncities: 13,
+                split_depth: 3,
+                seed: 0x75_90,
+                ns_per_node: 150_000,
+            },
+        }
+    }
+}
+
+/// Deterministic instance: cities on the unit square, scaled integer
+/// Euclidean distances.
+pub fn distance_matrix(params: &TspParams) -> Vec<u64> {
+    let n = params.ncities;
+    let xs: Vec<f64> = (0..n).map(|i| unit_f64(params.seed ^ (i as u64 * 2 + 1))).collect();
+    let ys: Vec<f64> = (0..n).map(|i| unit_f64(params.seed ^ (i as u64 * 2 + 2))).collect();
+    let mut d = vec![0u64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            d[i * n + j] = ((dx * dx + dy * dy).sqrt() * 10_000.0) as u64;
+        }
+    }
+    d
+}
+
+/// Held-Karp exact solution (reference optimum).
+pub fn held_karp(dist: &[u64], n: usize) -> u64 {
+    let full = 1usize << n;
+    const INF: u64 = u64::MAX / 4;
+    // dp[mask][last] = min cost to start at 0, visit mask, end at last.
+    let mut dp = vec![INF; full * n];
+    dp[n] = 0;
+    for mask in 1..full {
+        if mask & 1 == 0 {
+            continue;
+        }
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cur = dp[mask * n + last];
+            if cur >= INF {
+                continue;
+            }
+            for next in 0..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let nm = mask | (1 << next);
+                let cand = cur + dist[last * n + next];
+                if cand < dp[nm * n + next] {
+                    dp[nm * n + next] = cand;
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|last| dp[(full - 1) * n + last].saturating_add(dist[last * n]))
+        .min()
+        .expect("at least one tour")
+}
+
+/// A partial tour record in the shared queue: [depth, length, mask,
+/// path...] packed into u64 words.
+const REC_WORDS: usize = 24;
+const QUEUE_CAP: usize = 4096;
+
+const LOCK_QUEUE: u64 = 0;
+const LOCK_BEST: u64 = 1;
+
+/// Cheap admissible lower bound: current length + the minimum outgoing
+/// edge of every unvisited city (and of the last city).
+fn lower_bound(dist: &[u64], n: usize, mask: u64, last: usize, len: u64) -> u64 {
+    let mut bound = len;
+    for c in 0..n {
+        if c != last && mask & (1 << c) != 0 {
+            continue;
+        }
+        let mut best = u64::MAX;
+        for d in 0..n {
+            if d != c && (mask & (1 << d) == 0 || d == 0) {
+                best = best.min(dist[c * n + d]);
+            }
+        }
+        if best != u64::MAX {
+            bound += best;
+        }
+    }
+    bound
+}
+
+/// Sequential depth-first solver used for subtrees below the split
+/// depth; returns the number of nodes expanded.
+#[allow(clippy::too_many_arguments)]
+fn solve_local(
+    dist: &[u64],
+    n: usize,
+    mask: u64,
+    last: usize,
+    len: u64,
+    path: &mut Vec<u8>,
+    best: &mut u64,
+    nodes: &mut u64,
+) {
+    *nodes += 1;
+    if path.len() == n {
+        let tour = len + dist[last * n];
+        if tour < *best {
+            *best = tour;
+        }
+        return;
+    }
+    if lower_bound(dist, n, mask, last, len) >= *best {
+        return;
+    }
+    for next in 1..n {
+        if mask & (1 << next) != 0 {
+            continue;
+        }
+        path.push(next as u8);
+        solve_local(
+            dist,
+            n,
+            mask | (1 << next),
+            next,
+            len + dist[last * n + next],
+            path,
+            best,
+            nodes,
+        );
+        path.pop();
+    }
+}
+
+/// Runs TSP under `protocol` and verifies the optimum against Held-Karp.
+pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
+    run_tuned(protocol, nprocs, scale, &RunOptions::default())
+}
+
+/// As [`run`], honouring [`RunOptions`] protocol extensions.
+pub fn run_tuned(
+    protocol: ProtocolKind,
+    nprocs: usize,
+    scale: Scale,
+    opts: &RunOptions,
+) -> AppRun {
+    let params = TspParams::new(scale);
+    let n = params.ncities;
+    let dist = distance_matrix(&params);
+    let optimum = held_karp(&dist, n);
+
+    let mut dsm = opts.builder(protocol, nprocs).build();
+    // Queue: [0] = top, [1] = outstanding work items; records follow.
+    let queue: SharedVec<u64> = dsm.alloc_page_aligned::<u64>(2 + QUEUE_CAP * REC_WORDS);
+    let best: SharedVec<u64> = dsm.alloc_page_aligned::<u64>(1);
+
+    let dist_for_body = dist.clone();
+    let outcome = dsm
+        .run(move |p| {
+            let dist = &dist_for_body;
+            if p.index() == 0 {
+                best.set(p, 0, u64::MAX / 4);
+                // Seed: the root tour at city 0.
+                let rec_base = 2;
+                queue.set(p, rec_base, 1); // depth
+                queue.set(p, rec_base + 1, 0); // length
+                queue.set(p, rec_base + 2, 1); // mask (city 0 visited)
+                queue.set(p, rec_base + 3, 0); // path word: city 0
+                queue.set(p, 0, 1); // top
+                queue.set(p, 1, 1); // outstanding
+            }
+            p.barrier();
+
+            let mut spins = 0u64;
+            loop {
+                // Pop one work item.
+                p.lock(LOCK_QUEUE);
+                let top = queue.get(p, 0);
+                let outstanding = queue.get(p, 1);
+                if top == 0 {
+                    p.unlock(LOCK_QUEUE);
+                    if outstanding == 0 {
+                        break; // global termination
+                    }
+                    spins += 1;
+                    assert!(spins < 1_000_000, "TSP termination failure");
+                    p.compute(work(200, params.ns_per_node));
+                    continue;
+                }
+                let rec = 2 + ((top - 1) as usize) * REC_WORDS;
+                let depth = queue.get(p, rec) as usize;
+                let len = queue.get(p, rec + 1);
+                let mask = queue.get(p, rec + 2);
+                let mut path = Vec::with_capacity(n);
+                for d in 0..depth {
+                    path.push(queue.get(p, rec + 3 + d) as u8);
+                }
+                queue.set(p, 0, top - 1);
+                p.unlock(LOCK_QUEUE);
+
+                let last = *path.last().expect("nonempty path") as usize;
+                let cur_best = {
+                    p.lock(LOCK_BEST);
+                    let b = best.get(p, 0);
+                    p.unlock(LOCK_BEST);
+                    b
+                };
+
+                let mut pushed = 0u64;
+                let mut local_best = cur_best;
+                let mut nodes = 0u64;
+                if lower_bound(dist, n, mask, last, len) < cur_best {
+                    if depth < params.split_depth && depth < n {
+                        // Expand children back into the shared queue.
+                        for next in 1..n {
+                            if mask & (1 << next) != 0 {
+                                continue;
+                            }
+                            let nlen = len + dist[last * n + next];
+                            if lower_bound(dist, n, mask | (1 << next), next, nlen)
+                                >= cur_best
+                            {
+                                continue;
+                            }
+                            p.lock(LOCK_QUEUE);
+                            let t = queue.get(p, 0);
+                            assert!((t as usize) < QUEUE_CAP, "TSP queue overflow");
+                            let nrec = 2 + (t as usize) * REC_WORDS;
+                            queue.set(p, nrec, (depth + 1) as u64);
+                            queue.set(p, nrec + 1, nlen);
+                            queue.set(p, nrec + 2, mask | (1 << next));
+                            for (d, c) in path.iter().enumerate() {
+                                queue.set(p, nrec + 3 + d, *c as u64);
+                            }
+                            queue.set(p, nrec + 3 + depth, next as u64);
+                            queue.set(p, 0, t + 1);
+                            queue.update(p, 1, |o| o + 1);
+                            p.unlock(LOCK_QUEUE);
+                            pushed += 1;
+                        }
+                        nodes += 1;
+                    } else {
+                        // Solve the subtree locally.
+                        solve_local(
+                            dist,
+                            n,
+                            mask,
+                            last,
+                            len,
+                            &mut path.clone(),
+                            &mut local_best,
+                            &mut nodes,
+                        );
+                    }
+                }
+                p.compute(work(nodes as usize, params.ns_per_node));
+
+                if local_best < cur_best {
+                    p.lock(LOCK_BEST);
+                    let b = best.get(p, 0);
+                    if local_best < b {
+                        best.set(p, 0, local_best);
+                    }
+                    p.unlock(LOCK_BEST);
+                }
+
+                // Account for the completed item (children were already
+                // counted when pushed).
+                let _ = pushed;
+                p.lock(LOCK_QUEUE);
+                queue.update(p, 1, |o| o - 1);
+                p.unlock(LOCK_QUEUE);
+            }
+        })
+        .expect("TSP run failed");
+
+    let got = outcome.read_elem(&best, 0);
+    let ok = got == optimum;
+    AppRun {
+        outcome,
+        ok,
+        detail: if ok {
+            String::new()
+        } else {
+            format!("best tour {got}, optimum {optimum}")
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn held_karp_solves_a_triangle() {
+        // 3 cities: the only tour length is d01+d12+d20.
+        let params = TspParams {
+            ncities: 3,
+            split_depth: 1,
+            seed: 7,
+            ns_per_node: 10,
+        };
+        let d = distance_matrix(&params);
+        let hk = held_karp(&d, 3);
+        assert_eq!(hk, d[1] + d[3 + 2] + d[3 * 2]);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible() {
+        let params = TspParams::new(Scale::Tiny);
+        let d = distance_matrix(&params);
+        let n = params.ncities;
+        let opt = held_karp(&d, n);
+        // Bound at the root must not exceed the optimum.
+        assert!(lower_bound(&d, n, 1, 0, 0) <= opt);
+    }
+
+    #[test]
+    fn parallel_finds_the_optimum_under_all_protocols() {
+        for protocol in [
+            ProtocolKind::Mw,
+            ProtocolKind::Sw,
+            ProtocolKind::Wfs,
+            ProtocolKind::WfsWg,
+        ] {
+            let run = run(protocol, 4, Scale::Tiny);
+            assert!(run.ok, "{protocol}: {}", run.detail);
+        }
+    }
+
+    #[test]
+    fn single_proc_run_matches_optimum() {
+        let run = run(ProtocolKind::Mw, 1, Scale::Tiny);
+        assert!(run.ok, "{}", run.detail);
+    }
+}

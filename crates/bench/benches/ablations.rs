@@ -1,0 +1,132 @@
+//! Criterion benches for the beyond-the-paper harnesses: the §7
+//! related-work comparison (SC / home-based LRC) and the design-constant
+//! ablations (ownership quantum, write-granularity threshold, GC
+//! threshold, migratory optimisation). Tiny inputs so `cargo bench`
+//! terminates quickly; the `repro` binary runs the same generators at
+//! full scale.
+
+use adsm_apps::{run_app_tuned, App, RunOptions, Scale};
+use adsm_core::{CostModel, HomePolicy, ProtocolKind, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The §7 comparators on the protocol-differentiating applications.
+fn related_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("related_protocols");
+    g.sample_size(10);
+    for (app, nprocs) in [(App::Is, 4), (App::Shallow, 4)] {
+        for protocol in [ProtocolKind::Sc, ProtocolKind::Hlrc, ProtocolKind::Wfs] {
+            g.bench_function(format!("{}/{}", app.name(), protocol.name()), |b| {
+                b.iter(|| {
+                    let run = run_app_tuned(
+                        app,
+                        protocol,
+                        nprocs,
+                        Scale::Tiny,
+                        &RunOptions::default(),
+                    );
+                    assert!(run.ok, "{}", run.detail);
+                    run.outcome.report.net.total_bytes()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Home placement sweep under HLRC (the Zhou et al. positioning).
+fn home_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hlrc_home_placement");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("round-robin", HomePolicy::RoundRobin),
+        ("first-touch", HomePolicy::FirstTouch),
+        ("fixed-last", HomePolicy::Fixed(3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let opts = RunOptions {
+                    home_policy: policy,
+                    ..RunOptions::default()
+                };
+                let run = run_app_tuned(App::Shallow, ProtocolKind::Hlrc, 4, Scale::Tiny, &opts);
+                assert!(run.ok, "{}", run.detail);
+                run.outcome.report.net.total_bytes()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ownership-quantum ablation (§2.3 "not sensitive to the exact value").
+fn quantum_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_quantum");
+    g.sample_size(10);
+    for quantum_us in [0u64, 1_000, 4_000] {
+        g.bench_function(format!("{quantum_us}us"), |b| {
+            b.iter(|| {
+                let mut cost = CostModel::sparc_atm();
+                cost.ownership_quantum = SimTime::from_us(quantum_us);
+                let opts = RunOptions {
+                    cost: Some(cost),
+                    ..RunOptions::default()
+                };
+                let run = run_app_tuned(App::Is, ProtocolKind::Sw, 4, Scale::Tiny, &opts);
+                assert!(run.ok, "{}", run.detail);
+                run.outcome.report.time
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Write-granularity-threshold ablation (§3.2 "not very dependent").
+fn wg_threshold_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wg_threshold");
+    g.sample_size(10);
+    for threshold in [512usize, 3 * 1024, 8 * 1024] {
+        g.bench_function(format!("{threshold}B"), |b| {
+            b.iter(|| {
+                let mut cost = CostModel::sparc_atm();
+                cost.wg_threshold_bytes = threshold;
+                let opts = RunOptions {
+                    cost: Some(cost),
+                    ..RunOptions::default()
+                };
+                let run = run_app_tuned(App::Tsp, ProtocolKind::WfsWg, 4, Scale::Tiny, &opts);
+                assert!(run.ok, "{}", run.detail);
+                run.outcome.report.time
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Migratory ownership transfer (§7 future work) on and off.
+fn migratory_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_migratory");
+    g.sample_size(10);
+    for on in [false, true] {
+        g.bench_function(if on { "on" } else { "off" }, |b| {
+            b.iter(|| {
+                let opts = RunOptions {
+                    migratory_opt: on,
+                    ..RunOptions::default()
+                };
+                let run = run_app_tuned(App::Is, ProtocolKind::Wfs, 4, Scale::Tiny, &opts);
+                assert!(run.ok, "{}", run.detail);
+                run.outcome.report.net.ownership_requests()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    related_protocols,
+    home_placement,
+    quantum_sweep,
+    wg_threshold_sweep,
+    migratory_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches regenerating the paper's Figures 1-3 (tiny inputs;
+//! the `repro` binary produces the full-scale figures).
+
+use adsm_apps::{kernels, run_app, App, Scale};
+use adsm_core::ProtocolKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Figure 1: the three access-pattern microkernels under WFS.
+fn fig1_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_kernels");
+    g.sample_size(10);
+    let params = kernels::KernelParams {
+        iters: 3,
+        nprocs: 4,
+        ns_per_elem: 200,
+    };
+    g.bench_function("producer_consumer", |b| {
+        b.iter(|| kernels::producer_consumer(ProtocolKind::Wfs, params))
+    });
+    g.bench_function("migratory", |b| {
+        b.iter(|| kernels::migratory(ProtocolKind::Wfs, params))
+    });
+    g.bench_function("false_sharing", |b| {
+        b.iter(|| kernels::false_sharing(ProtocolKind::Wfs, params))
+    });
+    g.finish();
+}
+
+/// Figure 2: the speedup measurement for one representative app per
+/// sharing regime, under all four protocols.
+fn fig2_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_speedup");
+    g.sample_size(10);
+    for proto in ProtocolKind::EVALUATED {
+        g.bench_function(format!("IS/{}", proto.name()), |b| {
+            b.iter(|| {
+                let run = run_app(App::Is, proto, 4, Scale::Tiny);
+                assert!(run.ok);
+                run.outcome.report.time
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3: the 3D-FFT diff-population trace under the three diffing
+/// protocols.
+fn fig3_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_trace");
+    g.sample_size(10);
+    for proto in [ProtocolKind::Mw, ProtocolKind::WfsWg, ProtocolKind::Wfs] {
+        g.bench_function(proto.name(), |b| {
+            b.iter(|| {
+                let run = run_app(App::Fft3d, proto, 4, Scale::Tiny);
+                assert!(run.ok);
+                run.outcome.report.trace.peak_diffs()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, fig1_kernels, fig2_speedup, fig3_trace);
+criterion_main!(figures);

@@ -1,0 +1,80 @@
+//! Criterion benches regenerating the paper's Tables 1-4 (tiny inputs,
+//! so `cargo bench` terminates quickly; use the `repro` binary for the
+//! full-scale tables).
+
+use adsm_apps::{run_app, App, Scale};
+use adsm_core::ProtocolKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Table 1 generator: sequential (Raw) executions.
+fn table1_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_sequential");
+    g.sample_size(10);
+    for app in [App::Sor, App::Is, App::Tsp] {
+        g.bench_function(app.name(), |b| {
+            b.iter(|| adsm_apps::sequential_time(app, Scale::Tiny))
+        });
+    }
+    g.finish();
+}
+
+/// Table 2 generator: MW runs with the sharing profiler.
+fn table2_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_profile");
+    g.sample_size(10);
+    for app in [App::Sor, App::Shallow, App::Ilink] {
+        g.bench_function(app.name(), |b| {
+            b.iter(|| {
+                let run = run_app(app, ProtocolKind::Mw, 4, Scale::Tiny);
+                assert!(run.ok);
+                run.outcome.report.profile.pct_ww_false_shared
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 3 generator: memory accounting across the three diffing
+/// protocols.
+fn table3_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_memory");
+    g.sample_size(10);
+    for proto in [ProtocolKind::Mw, ProtocolKind::WfsWg, ProtocolKind::Wfs] {
+        g.bench_function(proto.name(), |b| {
+            b.iter(|| {
+                let run = run_app(App::Is, proto, 4, Scale::Tiny);
+                assert!(run.ok);
+                run.outcome.report.proto.storage_bytes_created()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 4 generator: traffic accounting across the four protocols.
+fn table4_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_traffic");
+    g.sample_size(10);
+    for proto in ProtocolKind::EVALUATED {
+        g.bench_function(proto.name(), |b| {
+            b.iter(|| {
+                let run = run_app(App::Water, proto, 4, Scale::Tiny);
+                assert!(run.ok);
+                (
+                    run.outcome.report.net.total_messages(),
+                    run.outcome.report.net.total_bytes(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    table1_sequential,
+    table2_profile,
+    table3_memory,
+    table4_traffic
+);
+criterion_main!(tables);

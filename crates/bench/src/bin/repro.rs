@@ -1,0 +1,203 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section, plus the beyond-the-paper comparisons.
+//!
+//! ```text
+//! repro [targets] [--scale tiny|small|paper] [--nprocs N] [--apps a,b,..]
+//!
+//! targets: table1 table2 table3 table4 fig1 fig2 fig3 all  (default: all)
+//!          related ablation-quantum ablation-wg ablation-gc
+//!          ablation-migratory ablations
+//! ```
+
+use std::process::ExitCode;
+
+use adsm_apps::{App, Scale};
+use adsm_bench::{
+    ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_quantum,
+    ablation_wg, fig1, fig2, fig2_shape_checks, fig3, related, scaling, sensitivity, table1,
+    table2, table3, table4, Matrix,
+};
+
+struct Options {
+    targets: Vec<String>,
+    scale: Scale,
+    nprocs: usize,
+    apps: Vec<App>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut targets = Vec::new();
+    let mut scale = Scale::Small;
+    let mut nprocs = 8usize;
+    let mut apps: Vec<App> = App::ALL.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => return Err(format!("bad --scale {other:?}")),
+                };
+            }
+            "--nprocs" => {
+                nprocs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --nprocs")?;
+            }
+            "--apps" => {
+                let list = args.next().ok_or("missing --apps value")?;
+                apps = list
+                    .split(',')
+                    .map(|name| {
+                        App::ALL
+                            .iter()
+                            .copied()
+                            .find(|a| a.name().eq_ignore_ascii_case(name))
+                            .ok_or(format!("unknown app {name}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [table1 table2 table3 table4 fig1 fig2 fig3 all]\n\
+                     \x20      [related ablation-quantum ablation-wg ablation-gc\n\
+                     \x20       ablation-migratory ablations]\n\
+                     \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]"
+                );
+                std::process::exit(0);
+            }
+            t if t.starts_with("table")
+                || t.starts_with("fig")
+                || t.starts_with("ablation")
+                || t == "related"
+                || t == "sensitivity"
+                || t == "scaling"
+                || t == "traffic"
+                || t == "all" =>
+            {
+                targets.push(t.to_string());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    Ok(Options {
+        targets,
+        scale,
+        nprocs,
+        apps,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // "all" covers the paper's tables and figures; the beyond-the-paper
+    // targets ("related", the ablations) are requested explicitly, with
+    // "ablations" as the umbrella for the four sweeps.
+    let all = opts.targets.iter().any(|t| t == "all");
+    let sweeps = opts.targets.iter().any(|t| t == "ablations");
+    let wants = |t: &str| all || opts.targets.iter().any(|x| x == t);
+    let wants_sweep =
+        |t: &str| sweeps || opts.targets.iter().any(|x| x == t);
+
+    // Fig. 1 needs no matrix.
+    if wants("fig1") {
+        println!("{}", fig1(opts.nprocs));
+    }
+
+    if opts.targets.iter().any(|t| t == "related") {
+        eprintln!("running related-work comparison...");
+        println!("{}", related(opts.nprocs, opts.scale, &opts.apps));
+    }
+    if wants_sweep("ablation-quantum") {
+        eprintln!("running ownership-quantum sweep...");
+        println!("{}", ablation_quantum(opts.nprocs, opts.scale, &opts.apps));
+    }
+    if wants_sweep("ablation-wg") {
+        eprintln!("running write-granularity-threshold sweep...");
+        println!("{}", ablation_wg(opts.nprocs, opts.scale, &opts.apps));
+    }
+    if wants_sweep("ablation-gc") {
+        eprintln!("running GC-threshold sweep...");
+        println!("{}", ablation_gc(opts.nprocs, opts.scale));
+    }
+    if wants_sweep("ablation-migratory") {
+        eprintln!("running migratory-optimisation sweep...");
+        println!("{}", ablation_migratory(opts.nprocs, opts.scale, &opts.apps));
+    }
+    if wants_sweep("ablation-network") {
+        eprintln!("running network-bandwidth sweep...");
+        println!("{}", ablation_network(opts.nprocs, opts.scale, &opts.apps));
+    }
+    if wants_sweep("ablation-diffing") {
+        eprintln!("running eager-vs-lazy diffing sweep...");
+        println!("{}", ablation_diffing(opts.nprocs, opts.scale, &opts.apps));
+    }
+    if opts.targets.iter().any(|t| t == "sensitivity") {
+        eprintln!("running input-set sensitivity study...");
+        println!("{}", sensitivity(opts.nprocs));
+    }
+    if opts.targets.iter().any(|t| t == "scaling") {
+        eprintln!("running processor-count scaling study...");
+        println!("{}", scaling(opts.scale, &opts.apps));
+    }
+
+    let needs_matrix = ["table1", "table2", "table3", "table4", "fig2", "fig3"]
+        .iter()
+        .any(|t| wants(t))
+        || opts.targets.iter().any(|t| t == "traffic");
+    if !needs_matrix {
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "collecting evaluation matrix: {} apps x 5 runs at {} scale, {} procs",
+        opts.apps.len(),
+        opts.scale,
+        opts.nprocs
+    );
+    let m = Matrix::collect_filtered(opts.nprocs, opts.scale, &opts.apps);
+
+    if wants("table1") {
+        println!("{}", table1(&m));
+    }
+    if wants("table2") {
+        println!("{}", table2(&m));
+    }
+    if wants("fig2") {
+        println!("{}", fig2(&m));
+        let (pass, fail) = fig2_shape_checks(&m);
+        println!("shape checks:");
+        for p in &pass {
+            println!("  PASS  {p}");
+        }
+        for f in &fail {
+            println!("  FAIL  {f}");
+        }
+        println!();
+    }
+    if wants("table3") {
+        println!("{}", table3(&m));
+    }
+    if wants("table4") {
+        println!("{}", table4(&m));
+    }
+    if wants("fig3") && m.sequential.contains_key(&App::Fft3d) {
+        println!("{}", fig3(&m));
+    }
+    if opts.targets.iter().any(|t| t == "traffic") {
+        println!("{}", adsm_bench::traffic(&m, &opts.apps));
+    }
+    ExitCode::SUCCESS
+}

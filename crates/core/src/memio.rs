@@ -1,0 +1,180 @@
+//! Typed views onto the simulated shared address space.
+//!
+//! A [`SharedVec`] is a handle (base address + length) to an array of
+//! plain-old-data elements in shared memory. Handles are created before
+//! a run with [`Dsm::alloc`](crate::Dsm::alloc) and captured by the
+//! application closures; all access goes through a [`Proc`] so the
+//! coherence protocol sees every load and store.
+
+use std::marker::PhantomData;
+
+use adsm_mempage::Pod;
+
+use crate::Proc;
+
+/// A typed array in simulated shared memory.
+///
+/// `SharedVec` is `Copy`: it is only an address range, so closures can
+/// capture it cheaply. Element accesses are little-endian loads/stores
+/// through the owning [`Proc`]'s software MMU.
+///
+/// # Examples
+///
+/// ```
+/// use adsm_core::{Dsm, ProtocolKind};
+///
+/// let mut dsm = Dsm::builder(ProtocolKind::Mw).nprocs(2).build();
+/// let data = dsm.alloc::<u64>(1024);
+/// let outcome = dsm
+///     .run(move |p| {
+///         if p.id().index() == 0 {
+///             data.set(p, 0, 42);
+///         }
+///         p.barrier();
+///         if p.id().index() == 1 {
+///             assert_eq!(data.get(p, 0), 42);
+///         }
+///     })
+///     .unwrap();
+/// assert_eq!(outcome.read_vec(&data)[0], 42);
+/// ```
+pub struct SharedVec<T> {
+    base: usize,
+    len: usize,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedVec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedVec<T> {}
+
+impl<T> std::fmt::Debug for SharedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedVec")
+            .field("base", &self.base)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: Pod> SharedVec<T> {
+    pub(crate) fn from_raw(base: usize, len: usize) -> Self {
+        SharedVec {
+            base,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `i` in the shared space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len` (one-past-the-end is allowed for range
+    /// computations).
+    pub fn addr(&self, i: usize) -> usize {
+        assert!(i <= self.len, "index {i} out of bounds (len {})", self.len);
+        self.base + i * T::SIZE
+    }
+
+    /// Loads element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, p: &mut Proc, i: usize) -> T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut buf = [0u8; 16];
+        p.read_bytes(self.addr(i), &mut buf[..T::SIZE]);
+        T::load_le(&buf[..T::SIZE])
+    }
+
+    /// Stores `v` into element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&self, p: &mut Proc, i: usize, v: T) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut buf = [0u8; 16];
+        v.store_le(&mut buf[..T::SIZE]);
+        p.write_bytes(self.addr(i), &buf[..T::SIZE]);
+    }
+
+    /// Bulk load of `out.len()` elements starting at `start`. One rights
+    /// check per page instead of per element — the fast path for
+    /// stencil/array codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_into(&self, p: &mut Proc, start: usize, out: &mut [T]) {
+        assert!(
+            start + out.len() <= self.len,
+            "range [{start}, +{}) out of bounds (len {})",
+            out.len(),
+            self.len
+        );
+        if out.is_empty() {
+            return;
+        }
+        let mut bytes = vec![0u8; out.len() * T::SIZE];
+        p.read_bytes(self.addr(start), &mut bytes);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = T::load_le(&bytes[i * T::SIZE..]);
+        }
+    }
+
+    /// Bulk store of `vals` starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_from(&self, p: &mut Proc, start: usize, vals: &[T]) {
+        assert!(
+            start + vals.len() <= self.len,
+            "range [{start}, +{}) out of bounds (len {})",
+            vals.len(),
+            self.len
+        );
+        if vals.is_empty() {
+            return;
+        }
+        let mut bytes = vec![0u8; vals.len() * T::SIZE];
+        for (i, v) in vals.iter().enumerate() {
+            v.store_le(&mut bytes[i * T::SIZE..]);
+        }
+        p.write_bytes(self.addr(start), &bytes);
+    }
+
+    /// Reads the whole range `[start, end)` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_range(&self, p: &mut Proc, start: usize, end: usize) -> Vec<T> {
+        assert!(start <= end && end <= self.len, "bad range [{start}, {end})");
+        let mut out = vec![T::default(); end - start];
+        self.read_into(p, start, &mut out);
+        out
+    }
+
+    /// Read-modify-write of one element.
+    pub fn update(&self, p: &mut Proc, i: usize, f: impl FnOnce(T) -> T) {
+        let v = self.get(p, i);
+        self.set(p, i, f(v));
+    }
+}

@@ -1,0 +1,208 @@
+use std::fmt;
+
+use adsm_netsim::{NetStats, SimTime, Trace};
+
+use crate::ProtocolKind;
+
+/// Protocol-level counters for one run (beyond raw network traffic).
+///
+/// These drive the paper's Table 3 (twin + diff memory) and the detailed
+/// per-application discussion in §6.4.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Twins created over the run.
+    pub twins_created: u64,
+    /// Bytes ever allocated to twins (cumulative).
+    pub twin_bytes_created: u64,
+    /// Diffs created over the run.
+    pub diffs_created: u64,
+    /// Bytes ever allocated to diff storage (cumulative wire size).
+    pub diff_bytes_created: u64,
+    /// Diffs currently alive (created and not yet garbage collected).
+    pub diffs_alive: u64,
+    /// Bytes of diff storage currently alive.
+    pub diff_bytes_alive: u64,
+    /// Twins currently alive.
+    pub twins_alive: u64,
+    /// Bytes of twin storage currently alive.
+    pub twin_bytes_alive: u64,
+    /// Peak of `diff_bytes_alive + twin_bytes_alive`.
+    pub peak_storage_bytes: u64,
+    /// Diffs applied (including during GC validation).
+    pub diffs_applied: u64,
+    /// Garbage collections performed.
+    pub gc_runs: u64,
+    /// Read faults taken (remote or local).
+    pub read_faults: u64,
+    /// Write faults taken (remote or local).
+    pub write_faults: u64,
+    /// Write faults resolved locally by the page's owner (no messages).
+    pub soft_write_faults: u64,
+    /// Ownership requests granted.
+    pub ownership_grants: u64,
+    /// Ownership requests refused (adaptive protocols: write-write false
+    /// sharing detected).
+    pub ownership_refusals: u64,
+    /// Page-mode transitions SW -> MW (counted per processor per page).
+    pub switches_to_mw: u64,
+    /// Page-mode transitions MW -> SW (counted per processor per page).
+    pub switches_to_sw: u64,
+    /// Full pages transferred (page replies + ownership grants carrying
+    /// pages).
+    pub pages_transferred: u64,
+    /// Ownership migrations performed on read misses (the §7 migratory
+    /// optimisation, when enabled).
+    pub migratory_grants: u64,
+    /// SC comparator: read copies invalidated before writes proceeded.
+    pub invalidations: u64,
+    /// HLRC comparator: diffs flushed to page homes at interval close.
+    pub home_flushes: u64,
+}
+
+impl ProtocolStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total twin+diff bytes ever allocated — the paper's Table 3
+    /// "memory consumption" metric.
+    pub fn storage_bytes_created(&self) -> u64 {
+        self.twin_bytes_created + self.diff_bytes_created
+    }
+
+    /// Records a twin of `bytes` bytes coming into existence.
+    pub fn twin_created(&mut self, bytes: usize) {
+        self.twins_created += 1;
+        self.twin_bytes_created += bytes as u64;
+        self.twins_alive += 1;
+        self.twin_bytes_alive += bytes as u64;
+        self.update_peak();
+    }
+
+    /// Records a twin being discarded.
+    pub fn twin_dropped(&mut self, bytes: usize) {
+        self.twins_alive -= 1;
+        self.twin_bytes_alive -= bytes as u64;
+    }
+
+    /// Records a diff of `bytes` wire bytes being stored.
+    pub fn diff_created(&mut self, bytes: usize) {
+        self.diffs_created += 1;
+        self.diff_bytes_created += bytes as u64;
+        self.diffs_alive += 1;
+        self.diff_bytes_alive += bytes as u64;
+        self.update_peak();
+    }
+
+    /// Records `n` diffs totalling `bytes` wire bytes being discarded.
+    pub fn diffs_dropped(&mut self, n: u64, bytes: u64) {
+        self.diffs_alive -= n;
+        self.diff_bytes_alive -= bytes;
+    }
+
+    fn update_peak(&mut self) {
+        let alive = self.diff_bytes_alive + self.twin_bytes_alive;
+        if alive > self.peak_storage_bytes {
+            self.peak_storage_bytes = alive;
+        }
+    }
+}
+
+impl fmt::Display for ProtocolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} twins, {} diffs, {:.2} MB twin+diff storage, {} GCs",
+            self.twins_created,
+            self.diffs_created,
+            self.storage_bytes_created() as f64 / 1e6,
+            self.gc_runs,
+        )
+    }
+}
+
+/// Everything measured during one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Protocol that produced the run.
+    pub protocol: ProtocolKind,
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Per-processor finishing virtual times.
+    pub proc_times: Vec<SimTime>,
+    /// Wall virtual time of the run (max over processors).
+    pub time: SimTime,
+    /// Network traffic (Table 4).
+    pub net: NetStats,
+    /// Protocol counters (Table 3 and §6.4).
+    pub proto: ProtocolStats,
+    /// Event trace (Figure 3).
+    pub trace: Trace,
+    /// Sharing profile (Table 2).
+    pub profile: crate::profile::ProfileSummary,
+    /// Pages in SW mode on a majority of processors when the run ended
+    /// (adaptive protocols; equals all touched pages for SW, none for MW).
+    pub final_sw_pages: usize,
+    /// Pages ever touched by any processor.
+    pub touched_pages: usize,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a sequential time.
+    pub fn speedup(&self, sequential: SimTime) -> f64 {
+        sequential.as_ns() as f64 / self.time.as_ns() as f64
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} x{}] time {} | {} | {}",
+            self.protocol, self.nprocs, self.time, self.net, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twin_accounting() {
+        let mut s = ProtocolStats::new();
+        s.twin_created(4096);
+        s.twin_created(4096);
+        assert_eq!(s.twins_alive, 2);
+        assert_eq!(s.peak_storage_bytes, 8192);
+        s.twin_dropped(4096);
+        assert_eq!(s.twins_alive, 1);
+        assert_eq!(s.twin_bytes_created, 8192);
+        // Peak is sticky.
+        assert_eq!(s.peak_storage_bytes, 8192);
+    }
+
+    #[test]
+    fn diff_accounting() {
+        let mut s = ProtocolStats::new();
+        s.diff_created(100);
+        s.diff_created(50);
+        assert_eq!(s.diffs_alive, 2);
+        s.diffs_dropped(2, 150);
+        assert_eq!(s.diffs_alive, 0);
+        assert_eq!(s.diff_bytes_alive, 0);
+        assert_eq!(s.storage_bytes_created(), 150);
+    }
+
+    #[test]
+    fn peak_tracks_combined_storage() {
+        let mut s = ProtocolStats::new();
+        s.twin_created(10);
+        s.diff_created(20);
+        assert_eq!(s.peak_storage_bytes, 30);
+        s.twin_dropped(10);
+        s.diff_created(5);
+        assert_eq!(s.peak_storage_bytes, 30);
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt;
+
+use adsm_mempage::PageId;
+use adsm_vclock::{IntervalId, VectorClock};
+
+/// The two flavours of write notice (§2.3, §3.1.1).
+///
+/// * MW-mode writers produce **non-owner** notices: "I modified this page
+///   in this interval; ask me for the diff".
+/// * SW-mode owners produce **owner** notices carrying the page's version
+///   number: "my copy as of this version is the page; fetch it whole".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NoticeKind {
+    /// Owner write notice with the page's version number.
+    Owner(u32),
+    /// Non-owner (MW) write notice; the modification is a diff.
+    NonOwner,
+}
+
+impl NoticeKind {
+    /// Is this an owner write notice?
+    pub fn is_owner(self) -> bool {
+        matches!(self, NoticeKind::Owner(_))
+    }
+
+    /// The version number, for owner notices.
+    pub fn version(self) -> Option<u32> {
+        match self {
+            NoticeKind::Owner(v) => Some(v),
+            NoticeKind::NonOwner => None,
+        }
+    }
+}
+
+impl fmt::Display for NoticeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoticeKind::Owner(v) => write!(f, "owner(v{v})"),
+            NoticeKind::NonOwner => f.write_str("non-owner"),
+        }
+    }
+}
+
+/// Record of one closed interval: its timestamp and the pages it wrote.
+///
+/// A cluster-wide log of these (indexed by processor and 1-based
+/// sequence number) is the canonical representation of the
+/// happened-before-1 history; write-notice propagation ships slices of
+/// the log.
+#[derive(Clone, Debug)]
+pub struct IntervalInfo {
+    /// Identity of the interval.
+    pub id: IntervalId,
+    /// Vector timestamp at which the interval closed.
+    pub vc: VectorClock,
+    /// Pages written during the interval, each with its notice kind.
+    pub writes: Vec<(PageId, NoticeKind)>,
+}
+
+impl IntervalInfo {
+    /// Bytes this interval's notices occupy in a message: interval
+    /// header + vector clock + one record per page.
+    pub fn wire_size(&self) -> usize {
+        8 + self.vc.wire_size() + self.writes.len() * NOTICE_RECORD_BYTES
+    }
+}
+
+/// Wire size of one (page, kind) record inside an interval: page id,
+/// kind tag, optional version.
+pub const NOTICE_RECORD_BYTES: usize = 10;
+
+/// A write notice pending application at some processor: the page was
+/// invalidated because of it, and the modification it describes has not
+/// yet been applied to the local copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingNotice {
+    /// Interval that made the modification.
+    pub interval: IntervalId,
+    /// Owner or non-owner.
+    pub kind: NoticeKind,
+}
+
+impl fmt::Display for PendingNotice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.interval, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsm_vclock::ProcId;
+
+    #[test]
+    fn kind_accessors() {
+        assert!(NoticeKind::Owner(3).is_owner());
+        assert_eq!(NoticeKind::Owner(3).version(), Some(3));
+        assert!(!NoticeKind::NonOwner.is_owner());
+        assert_eq!(NoticeKind::NonOwner.version(), None);
+    }
+
+    #[test]
+    fn interval_wire_size_counts_pages() {
+        let mut vc = VectorClock::new(4);
+        vc.tick(ProcId::new(1));
+        let info = IntervalInfo {
+            id: IntervalId::new(ProcId::new(1), 1),
+            vc,
+            writes: vec![
+                (PageId::new(0), NoticeKind::NonOwner),
+                (PageId::new(5), NoticeKind::Owner(2)),
+            ],
+        };
+        assert_eq!(info.wire_size(), 8 + 16 + 2 * NOTICE_RECORD_BYTES);
+    }
+}

@@ -1,0 +1,205 @@
+//! The per-processor application handle.
+//!
+//! Application code runs one closure per simulated processor and talks
+//! to the DSM exclusively through [`Proc`]: typed shared-memory access
+//! (via [`SharedVec`](crate::SharedVec)), locks, barriers, and explicit
+//! compute-time charges. Every access checks the software page
+//! protection; denied accesses invoke the coherence protocol exactly as
+//! a SIGSEGV handler would in TreadMarks.
+
+use std::sync::Arc;
+
+use adsm_engine::Task;
+use adsm_mempage::{FaultKind, PageFault, PagedMemory};
+use adsm_netsim::SimTime;
+use adsm_vclock::ProcId;
+use parking_lot::Mutex;
+
+use crate::protocol::{self, sync, Ctx};
+use crate::world::World;
+use crate::ProtocolKind;
+
+/// Handle through which an application closure drives one simulated
+/// processor.
+pub struct Proc {
+    pub(crate) task: Task,
+    pub(crate) id: ProcId,
+    pub(crate) nprocs: usize,
+    pub(crate) world: Arc<Mutex<World>>,
+    pub(crate) mems: Arc<Vec<Mutex<PagedMemory>>>,
+    pub(crate) raw: bool,
+    pub(crate) access_cost: SimTime,
+    pub(crate) mem_per_byte_ns: u64,
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("id", &self.id)
+            .field("nprocs", &self.nprocs)
+            .finish()
+    }
+}
+
+impl Proc {
+    /// This processor's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Convenience: the id as a dense index.
+    pub fn index(&self) -> usize {
+        self.id.index()
+    }
+
+    /// Number of processors in the cluster.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Charges `dt` of application compute time to this processor's
+    /// virtual clock (the model of real CPU work between shared
+    /// accesses).
+    pub fn compute(&mut self, dt: SimTime) {
+        self.task.advance(dt);
+    }
+
+    /// Current virtual time of this processor.
+    pub fn clock(&self) -> SimTime {
+        self.task.clock()
+    }
+
+    /// Acquires lock `lock_id` (locks are created on first use; the
+    /// manager is statically `lock_id % nprocs`). Blocks until granted;
+    /// the grant carries write notices per LRC.
+    pub fn lock(&mut self, lock_id: u64) {
+        if self.raw {
+            return;
+        }
+        self.task.yield_turn();
+        let must_block = {
+            let mut w = self.world.lock();
+            let mut ctx = Ctx {
+                w: &mut w,
+                mems: &self.mems,
+                task: &mut self.task,
+            };
+            sync::acquire(&mut ctx, self.id, lock_id) == sync::AcquireOutcome::MustBlock
+        };
+        if must_block {
+            // The releaser completes the handshake (notices,
+            // invalidations, wake-up time).
+            self.task.block();
+        }
+    }
+
+    /// Releases lock `lock_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this processor does not hold the lock.
+    pub fn unlock(&mut self, lock_id: u64) {
+        if self.raw {
+            return;
+        }
+        self.task.yield_turn();
+        let mut w = self.world.lock();
+        let mut ctx = Ctx {
+            w: &mut w,
+            mems: &self.mems,
+            task: &mut self.task,
+        };
+        sync::release(&mut ctx, self.id, lock_id);
+    }
+
+    /// Waits until every processor reaches the barrier. Barrier
+    /// completion exchanges write notices globally, runs the adaptive
+    /// protocols' barrier-time detection, and performs diff garbage
+    /// collection when requested.
+    pub fn barrier(&mut self) {
+        if self.raw {
+            return;
+        }
+        self.task.yield_turn();
+        let must_block = {
+            let mut w = self.world.lock();
+            let mut ctx = Ctx {
+                w: &mut w,
+                mems: &self.mems,
+                task: &mut self.task,
+            };
+            sync::barrier_arrive(&mut ctx, self.id) == sync::BarrierOutcome::MustBlock
+        };
+        if must_block {
+            self.task.block();
+        }
+    }
+
+    /// Checked read of `buf.len()` bytes at `addr`, faulting pages in as
+    /// needed. Successful accesses charge memory time and offer a turn
+    /// point, so other processors' protocol actions (ownership grants,
+    /// invalidations) can land *between* accesses, as on real hardware.
+    pub(crate) fn read_bytes(&mut self, addr: usize, buf: &mut [u8]) {
+        loop {
+            let fault: PageFault = {
+                let mem = self.mems[self.id.index()].lock();
+                match mem.try_read(addr, buf.len()) {
+                    Ok(bytes) => {
+                        buf.copy_from_slice(bytes);
+                        drop(mem);
+                        self.access_tick(buf.len());
+                        return;
+                    }
+                    Err(f) => f,
+                }
+            };
+            self.handle_fault(fault);
+        }
+    }
+
+    /// Checked write of `data` at `addr`, faulting pages in as needed.
+    pub(crate) fn write_bytes(&mut self, addr: usize, data: &[u8]) {
+        loop {
+            let fault: PageFault = {
+                let mut mem = self.mems[self.id.index()].lock();
+                match mem.try_write(addr, data) {
+                    Ok(()) => {
+                        drop(mem);
+                        self.access_tick(data.len());
+                        return;
+                    }
+                    Err(f) => f,
+                }
+            };
+            self.handle_fault(fault);
+        }
+    }
+
+    fn access_tick(&mut self, bytes: usize) {
+        self.task.advance(self.access_cost.max(SimTime::from_ns(
+            self.mem_per_byte_ns * bytes as u64,
+        )));
+        if !self.raw {
+            self.task.yield_turn();
+        }
+    }
+
+    fn handle_fault(&mut self, fault: PageFault) {
+        // Faults are protocol interactions: turn point first.
+        self.task.yield_turn();
+        let mut w = self.world.lock();
+        let mut ctx = Ctx {
+            w: &mut w,
+            mems: &self.mems,
+            task: &mut self.task,
+        };
+        match fault.kind {
+            FaultKind::Read => protocol::read_fault(&mut ctx, self.id, fault.page),
+            FaultKind::Write => protocol::write_fault(&mut ctx, self.id, fault.page),
+        }
+    }
+
+    pub(crate) fn is_raw(cfg: ProtocolKind) -> bool {
+        cfg == ProtocolKind::Raw
+    }
+}

@@ -1,0 +1,733 @@
+//! Protocol machinery shared by all four protocols: interval management,
+//! write-notice propagation, invalidation, and the page-validation /
+//! merge procedure of §3.1.1.
+
+use adsm_mempage::{AccessRights, PagedMemory, PageId, PAGE_SIZE};
+use adsm_netsim::{MsgKind, SimTime, TraceKind};
+use adsm_vclock::{IntervalId, ProcId, VectorClock};
+use parking_lot::Mutex;
+
+use crate::notice::{IntervalInfo, NoticeKind, PendingNotice};
+use crate::world::{PageMode, World};
+use crate::ProtocolKind;
+
+/// Everything a protocol operation needs: the world, every processor's
+/// memory, and the engine task of the processor whose turn it is.
+pub(crate) struct Ctx<'a> {
+    pub w: &'a mut World,
+    pub mems: &'a [Mutex<PagedMemory>],
+    pub task: &'a mut adsm_engine::Task,
+}
+
+impl<'a> Ctx<'a> {
+    /// Charges virtual time to the current processor.
+    pub fn charge(&mut self, dt: SimTime) {
+        self.task.advance(dt);
+    }
+
+    /// Charges a service interrupt to another processor.
+    pub fn interrupt(&mut self, q: ProcId) {
+        let dt = self.w.cfg.cost.service_interrupt;
+        self.task.bump_clock(q.index(), dt);
+    }
+
+    /// Charges arbitrary time to another processor.
+    pub fn charge_other(&mut self, q: ProcId, dt: SimTime) {
+        self.task.bump_clock(q.index(), dt);
+    }
+
+    /// Current virtual time of the acting processor.
+    pub fn now(&self) -> SimTime {
+        self.task.clock()
+    }
+
+    /// Applies virtual-time charges queued where no engine handle was
+    /// available (HLRC home-side diff applies during interval close).
+    pub fn drain_deferred(&mut self) {
+        if self.w.deferred_costs.is_empty() {
+            return;
+        }
+        for (q, dt) in std::mem::take(&mut self.w.deferred_costs) {
+            if q == self.task.id() {
+                self.task.advance(dt);
+            } else {
+                self.task.bump_clock(q, dt);
+            }
+        }
+    }
+}
+
+/// Payload bytes of small protocol control messages (requests etc.).
+pub(crate) const CTRL_BYTES: usize = 16;
+
+/// Closes `p`'s open interval if it wrote anything: creates write
+/// notices, and — for MW-mode pages — encodes the interval's diffs
+/// against their twins and re-protects the pages (eager per-interval
+/// diffing; see DESIGN.md for the substitution note). Returns the
+/// processing cost, which the caller charges to whichever clock is
+/// appropriate (own turn, or a granting processor's clock). `now` is the
+/// virtual time used for trace points.
+pub(crate) fn close_interval(
+    w: &mut World,
+    mems: &[Mutex<PagedMemory>],
+    p: ProcId,
+    now: SimTime,
+) -> SimTime {
+    if w.procs[p.index()].dirty.is_empty() {
+        return SimTime::ZERO;
+    }
+    let mut cost = SimTime::ZERO;
+    let nprocs = w.nprocs();
+    let mut dirty = std::mem::take(&mut w.procs[p.index()].dirty);
+    dirty.sort_unstable();
+    dirty.dedup();
+
+    let seq = w.procs[p.index()].vc.tick(p);
+    let id = IntervalId::new(p, seq);
+    let closing_vc = w.procs[p.index()].vc.clone();
+
+    let mut writes: Vec<(PageId, NoticeKind)> = Vec::with_capacity(dirty.len());
+    let mut grain_events: Vec<usize> = Vec::new();
+    let mut trace_diff = false;
+
+    for page in dirty {
+        let mode = w.procs[p.index()].pages[page.index()].mode;
+        match mode {
+            PageMode::Sw => {
+                // Owner write notice with the page's current version.
+                let version = w.pages[page.index()].version;
+                debug_assert_eq!(
+                    w.pages[page.index()].owner,
+                    Some(p),
+                    "SW-dirty page {page} not owned by {p}"
+                );
+                writes.push((page, NoticeKind::Owner(version)));
+                // Re-protect for write detection in the next interval.
+                mems[p.index()].lock().set_rights(page, AccessRights::Read);
+                w.procs[p.index()].pages[page.index()].dirty = false;
+
+                // A refused requester or a concurrent writer was seen:
+                // emit the final owner notice, then drop ownership and
+                // fall to MW mode (§3.1.1: the owner cannot drop at
+                // request time because it has no twin).
+                if w.pages[page.index()].drop_pending {
+                    w.pages[page.index()].drop_pending = false;
+                    w.pages[page.index()].owner = None;
+                    let pc = &mut w.procs[p.index()].pages[page.index()];
+                    if pc.mode != PageMode::Mw {
+                        pc.mode = PageMode::Mw;
+                        w.proto.switches_to_mw += 1;
+                    }
+                }
+            }
+            PageMode::Mw if w.cfg.protocol == ProtocolKind::Hlrc => {
+                // HLRC: diffs are flushed to the home and never stored;
+                // the home itself wrote in place (no twin, nothing to
+                // flush). Both cases re-protect for the next interval.
+                let twin = w.procs[p.index()].pages[page.index()].twin.take();
+                mems[p.index()].lock().set_rights(page, AccessRights::Read);
+                w.procs[p.index()].pages[page.index()].dirty = false;
+                if let Some(twin) = twin {
+                    let diff = {
+                        let mem = mems[p.index()].lock();
+                        adsm_mempage::Diff::encode(&twin, mem.page(page))
+                    };
+                    w.proto.twin_dropped(PAGE_SIZE);
+                    let modified = diff.modified_bytes();
+                    cost += w.cfg.cost.diff_create(modified);
+                    cost += super::hlrc::flush_diff_to_home(w, mems, p, page, &diff);
+                    grain_events.push(modified);
+                    trace_diff = true;
+                    w.pages[page.index()].last_diff_bytes = modified;
+                }
+                writes.push((page, NoticeKind::NonOwner));
+                // No local pending notice: a home fetch re-installs the
+                // whole page, local writes included.
+            }
+            PageMode::Mw if w.cfg.diff_strategy == crate::DiffStrategy::Lazy => {
+                // Lazy (TreadMarks-style) diffing: retain the twin; the
+                // diff is encoded at the first request or at the next
+                // local write (`materialize_pending`). Never-requested
+                // intervals never pay diff creation.
+                let twin = w.procs[p.index()].pages[page.index()]
+                    .twin
+                    .take()
+                    .expect("MW-dirty page must have a twin");
+                debug_assert!(
+                    w.procs[p.index()].pages[page.index()].pending.is_none(),
+                    "previous pending diff must be materialised before a new session"
+                );
+                mems[p.index()].lock().set_rights(page, AccessRights::Read);
+                w.procs[p.index()].pages[page.index()].dirty = false;
+                w.procs[p.index()].pages[page.index()].pending =
+                    Some(crate::world::PendingDiff { interval: id, twin });
+                w.procs[p.index()].pending_bytes += PAGE_SIZE as u64;
+                // The twin stays alive in the memory accounting — the
+                // retained twin *is* lazy diffing's memory cost.
+                writes.push((page, NoticeKind::NonOwner));
+                w.procs[p.index()].pages[page.index()]
+                    .missing
+                    .push(PendingNotice {
+                        interval: id,
+                        kind: NoticeKind::NonOwner,
+                    });
+                if w.procs[p.index()].pending_bytes + w.procs[p.index()].diffs.bytes
+                    > w.cfg.cost.gc_threshold_bytes as u64
+                {
+                    w.gc_requested = true;
+                }
+            }
+            PageMode::Mw => {
+                // Eager per-interval diffing: encode against the twin,
+                // store, refresh protection.
+                let twin = w.procs[p.index()].pages[page.index()]
+                    .twin
+                    .take()
+                    .expect("MW-dirty page must have a twin");
+                let mut mem = mems[p.index()].lock();
+                let diff = adsm_mempage::Diff::encode(&twin, mem.page(page));
+                mem.set_rights(page, AccessRights::Read);
+                drop(mem);
+                w.proto.twin_dropped(PAGE_SIZE);
+                w.procs[p.index()].pages[page.index()].dirty = false;
+
+                let modified = diff.modified_bytes();
+                if super::trace_word::watched().is_some() {
+                    let mut probe = twin.clone();
+                    diff.apply(&mut probe);
+                    super::trace_word::log_change(
+                        &format!("diff-create {p} {id}"), page, &twin, &probe);
+                }
+                cost += w.cfg.cost.diff_create(modified);
+                w.proto.diff_created(diff.wire_size());
+                w.procs[p.index()].diffs.insert(page, id, diff);
+                grain_events.push(modified);
+                trace_diff = true;
+
+                w.pages[page.index()].last_diff_bytes = modified;
+                if w.cfg.protocol == ProtocolKind::WfsWg {
+                    // Write-granularity test (§3.2): large diffs make the
+                    // page a candidate for SW mode; small diffs keep it
+                    // in MW mode.
+                    w.pages[page.index()].wants_sw =
+                        modified > w.cfg.cost.wg_threshold_bytes;
+                }
+
+                writes.push((page, NoticeKind::NonOwner));
+                // The writer's own diff notice joins its own pending
+                // list so that a later whole-page install re-applies
+                // local modifications (the paper's merge procedure keeps
+                // local write notices in the list).
+                w.procs[p.index()].pages[page.index()]
+                    .missing
+                    .push(PendingNotice {
+                        interval: id,
+                        kind: NoticeKind::NonOwner,
+                    });
+            }
+        }
+
+        // Profiler: was this write concurrent with another processor's
+        // latest write to the page?
+        let others = w.profiler.other_writers(page, p);
+        let concurrent = others.iter().any(|iv| !closing_vc.covers(*iv));
+        w.profiler.note_write(page, p, id, concurrent);
+        w.barrier_notice_pages.insert(page);
+    }
+
+    for g in grain_events {
+        w.profiler.note_grain(g);
+    }
+
+    w.log[p.index()].push(IntervalInfo {
+        id,
+        vc: closing_vc,
+        writes,
+    });
+    debug_assert_eq!(w.log[p.index()].len() as u32, seq);
+
+    if trace_diff {
+        w.trace_event(now, TraceKind::DiffCreate);
+    }
+    if w.procs[p.index()].diffs.bytes > w.cfg.cost.gc_threshold_bytes as u64 {
+        w.gc_requested = true;
+    }
+    let _ = nprocs;
+    cost
+}
+
+/// Lazy diffing: encodes and stores the retained twin's diff for `q`'s
+/// pending interval on `page`, if one exists. The base image is the open
+/// write session's twin when one exists (the current page then contains
+/// the *next* interval's uncommitted writes), otherwise the current
+/// page. Returns the diff-creation cost, which the caller charges to
+/// `q`'s clock. A no-op under eager diffing.
+pub(crate) fn materialize_pending(
+    w: &mut World,
+    mems: &[Mutex<PagedMemory>],
+    q: ProcId,
+    page: PageId,
+) -> SimTime {
+    let pgidx = page.index();
+    let Some(pend) = w.procs[q.index()].pages[pgidx].pending.take() else {
+        return SimTime::ZERO;
+    };
+    let base = match &w.procs[q.index()].pages[pgidx].twin {
+        Some(t) => t.clone(),
+        None => mems[q.index()].lock().page(page).to_vec(),
+    };
+    let diff = adsm_mempage::Diff::encode(&pend.twin, &base);
+    w.procs[q.index()].pending_bytes -= PAGE_SIZE as u64;
+    w.proto.twin_dropped(PAGE_SIZE);
+    let modified = diff.modified_bytes();
+    w.profiler.note_grain(modified);
+    w.pages[pgidx].last_diff_bytes = modified;
+    w.proto.diff_created(diff.wire_size());
+    w.procs[q.index()].diffs.insert(page, pend.interval, diff);
+    if w.procs[q.index()].diffs.bytes > w.cfg.cost.gc_threshold_bytes as u64 {
+        w.gc_requested = true;
+    }
+    w.cfg.cost.diff_create(modified)
+}
+
+/// Ships to `p` every interval it has not seen, bounded by the sender's
+/// knowledge `src_vc`: appends pending notices, invalidates the affected
+/// pages, maintains HVN / page-mode state (on-the-fly notice GC and
+/// detection mechanism 2 of §3.1.2), and merges the vector clocks.
+/// Returns the payload size of the shipped notices.
+pub(crate) fn integrate_from(
+    w: &mut World,
+    mems: &[Mutex<PagedMemory>],
+    p: ProcId,
+    src_vc: &VectorClock,
+) -> usize {
+    let nprocs = w.nprocs();
+    let adaptive = w.cfg.protocol.is_adaptive();
+    let mut bytes = 0usize;
+    // Pages that received an owner notice in this batch (for mechanism 2).
+    let mut owner_pages: Vec<PageId> = Vec::new();
+    // One shipped interval: its id, closing clock, and write notices.
+    type ShippedInterval = (IntervalId, VectorClock, Vec<(PageId, NoticeKind)>);
+    let mut batch: Vec<ShippedInterval> = Vec::new();
+
+    for q in ProcId::all(nprocs) {
+        if q == p {
+            continue;
+        }
+        let from = w.procs[p.index()].vc.get(q);
+        let to = src_vc.get(q);
+        for seq in (from + 1)..=to {
+            let info = &w.log[q.index()][(seq - 1) as usize];
+            bytes += info.wire_size();
+            batch.push((info.id, info.vc.clone(), info.writes.clone()));
+        }
+    }
+
+    for (interval, ivc, writes) in batch {
+        for (page, kind) in writes {
+            let pg_idx = page.index();
+            // The HLRC home's frame already contains every flushed
+            // modification, so notices carry no work for it: no
+            // invalidation, no pending entry.
+            if w.cfg.protocol == ProtocolKind::Hlrc && w.pages[pg_idx].home == Some(p) {
+                continue;
+            }
+            // Invalidate the local copy.
+            mems[p.index()].lock().set_rights(page, AccessRights::None);
+
+            match kind {
+                NoticeKind::Owner(version) => {
+                    let pc = &mut w.procs[p.index()].pages[pg_idx];
+                    let better = pc.hvn.is_none_or(|h| version > h.version);
+                    if better {
+                        pc.hvn = Some(crate::world::Hvn {
+                            version,
+                            proc: interval.proc,
+                        });
+                    }
+                    owner_pages.push(page);
+                    // On-the-fly notice GC (§3.1.1): discard pending
+                    // notices dominated by the owner notice.
+                    let dominated: Vec<usize> = pc
+                        .missing
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| ivc.covers(n.interval))
+                        .map(|(i, _)| i)
+                        .collect();
+                    for i in dominated.into_iter().rev() {
+                        pc.missing.remove(i);
+                    }
+                    pc.missing.push(PendingNotice { interval, kind });
+                }
+                NoticeKind::NonOwner => {
+                    let pc = &mut w.procs[p.index()].pages[pg_idx];
+                    if !pc.missing.iter().any(|n| n.interval == interval) {
+                        pc.missing.push(PendingNotice { interval, kind });
+                    }
+                    if adaptive {
+                        // A non-owner notice is evidence of concurrent
+                        // (MW) writing: this processor perceives write
+                        // sharing on the page. An owner with an open
+                        // (un-twinned) write session cannot flip yet —
+                        // it first emits its final owner notice at the
+                        // next interval close (§3.1.1), which performs
+                        // the flip.
+                        let sw_dirty = pc.dirty && pc.twin.is_none();
+                        if pc.mode != PageMode::Mw && !sw_dirty {
+                            pc.mode = PageMode::Mw;
+                            w.proto.switches_to_mw += 1;
+                        }
+                        // FS onset seen by the page's current owner:
+                        // drop ownership — immediately if it has no
+                        // uncommitted writes, else at its next close.
+                        if w.pages[pg_idx].owner == Some(p) {
+                            if sw_dirty {
+                                w.pages[pg_idx].drop_pending = true;
+                            } else {
+                                w.pages[pg_idx].owner = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Detection mechanism 2 (§3.1.2): a new owner notice with no
+    // surviving concurrent non-owner notices means write-write false
+    // sharing has stopped.
+    if adaptive {
+        owner_pages.sort_unstable();
+        owner_pages.dedup();
+        for page in owner_pages {
+            let wants = w.pages[page.index()].wants_sw;
+            let pc = &mut w.procs[p.index()].pages[page.index()];
+            let has_concurrent = pc
+                .missing
+                .iter()
+                .any(|n| !n.kind.is_owner());
+            if !has_concurrent && pc.mode == PageMode::Mw {
+                let allow = match w.cfg.protocol {
+                    ProtocolKind::Wfs => true,
+                    // WFS+WG gives priority to the false-sharing test but
+                    // then decides on diff size: small diffs keep MW.
+                    ProtocolKind::WfsWg => wants,
+                    _ => false,
+                };
+                if allow && pc.twin.is_none() {
+                    pc.mode = PageMode::Sw;
+                    w.proto.switches_to_sw += 1;
+                }
+            }
+        }
+    }
+
+    let src = src_vc.clone();
+    w.procs[p.index()].vc.merge(&src);
+    bytes
+}
+
+/// The bytes a processor serves for a page request: its twin if it has an
+/// open write session (so uncommitted modifications of the open interval
+/// do not leak), otherwise its current copy.
+pub(crate) fn serve_page_bytes(
+    w: &World,
+    mems: &[Mutex<PagedMemory>],
+    q: ProcId,
+    page: PageId,
+) -> Vec<u8> {
+    if let Some(twin) = &w.procs[q.index()].pages[page.index()].twin {
+        twin.clone()
+    } else {
+        mems[q.index()].lock().page(page).to_vec()
+    }
+}
+
+/// Sort key yielding a linear extension of happened-before-1 (proved
+/// valid for clocks arising from real executions: domination implies a
+/// strictly larger component sum).
+fn apply_key(w: &World, id: IntervalId) -> (u64, usize, u32) {
+    let vc = w.vc_of(id);
+    let sum: u64 = vc.iter().map(|(_, s)| s as u64).sum();
+    (sum, id.proc.index(), id.seq)
+}
+
+/// Validates `p`'s copy of `page`: the general merge procedure of
+/// §3.1.1. Fetches a whole page from the highest-version owner notice if
+/// one is pending (or an initial copy if the processor never had one),
+/// discards dominated notices, fetches and applies the remaining diffs
+/// in happened-before order, and preserves any uncommitted local
+/// modifications. Leaves the page readable (writable if an open write
+/// session was preserved).
+pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
+    let cost_model = ctx.w.cfg.cost.clone();
+    let pidx = p.index();
+    let pgidx = page.index();
+
+    // Preserve uncommitted local writes: delta of the open session.
+    let delta = {
+        let pc = &ctx.w.procs[pidx].pages[pgidx];
+        pc.twin.as_ref().map(|twin| {
+            let mem = ctx.mems[pidx].lock();
+            adsm_mempage::Diff::encode(twin, mem.page(page))
+        })
+    };
+
+    let missing = ctx.w.procs[pidx].pages[pgidx].missing.clone();
+
+    // Lazy diffing: foreign modifications are about to reach this copy,
+    // so the locally retained twin must be encoded first — afterwards its
+    // diff would claim the foreign words as local writes.
+    if !missing.is_empty() {
+        let mcost = materialize_pending(ctx.w, ctx.mems, p, page);
+        ctx.charge(mcost);
+    }
+
+    // 1. Whole-page install: from the highest-version pending owner
+    //    notice, or an initial copy if we never had one.
+    let owner_pending = missing
+        .iter()
+        .filter(|n| n.kind.is_owner())
+        .max_by_key(|n| (n.kind.version().unwrap_or(0), n.interval.proc.index()))
+        .copied();
+
+    let mut base_vc: Option<VectorClock> = None;
+    let mut installed = false;
+    if let Some(on) = owner_pending {
+        let q = on.interval.proc;
+        fetch_page_from(ctx, p, q, page);
+        base_vc = Some(ctx.w.vc_of(on.interval).clone());
+        installed = true;
+    } else if !ctx.w.procs[pidx].pages[pgidx].has_copy {
+        let source = initial_source(ctx.w, p, page);
+        if source != p {
+            fetch_page_from(ctx, p, source, page);
+            installed = true;
+        }
+    }
+
+    // 2. Domination deletion: anything the installed copy provably
+    //    contains. Additionally, when no whole page was installed, the
+    //    local copy by definition contains every local write — applying
+    //    one of our *own* old diffs would regress words we have since
+    //    rewritten (committed or still in the open session). Own diffs
+    //    are only re-applied over a freshly installed foreign copy.
+    let keep: Vec<PendingNotice> = missing
+        .into_iter()
+        .filter(|n| match &base_vc {
+            Some(vc) => !vc.covers(n.interval),
+            None => true,
+        })
+        .filter(|n| installed || n.interval.proc != p)
+        .collect();
+    debug_assert!(
+        keep.iter().all(|n| !n.kind.is_owner()),
+        "owner notices must be dominated by the freshest owner copy"
+    );
+
+    // 3. Fetch the remaining diffs, grouped by writer, requests issued in
+    //    parallel (elapsed time = slowest writer, messages counted per
+    //    writer).
+    let mut writers: Vec<ProcId> = keep.iter().map(|n| n.interval.proc).collect();
+    writers.sort_unstable();
+    writers.dedup();
+    let my_mode_sw = ctx.w.procs[pidx].pages[pgidx].mode == PageMode::Sw;
+    let mut remote_writers = 0u64;
+    let mut total_reply_bytes = 0usize;
+    let mut to_apply: Vec<(IntervalId, adsm_mempage::Diff)> = Vec::new();
+    for q in writers {
+        // Lazy diffing: the writer encodes its retained twin on demand.
+        let mcost = materialize_pending(ctx.w, ctx.mems, q, page);
+        if mcost > SimTime::ZERO {
+            if q == p {
+                ctx.charge(mcost);
+            } else {
+                ctx.charge_other(q, mcost);
+            }
+        }
+        let mut reply_bytes = 0usize;
+        for n in keep.iter().filter(|n| n.interval.proc == q) {
+            let diff = ctx.w.procs[q.index()].diffs.get(page, n.interval).cloned();
+            let diff = diff.unwrap_or_else(|| {
+                panic!("missing diff for {page} {} at {q}", n.interval)
+            });
+            reply_bytes += diff.wire_size();
+            to_apply.push((n.interval, diff));
+        }
+        if q != p {
+            ctx.w.msg(MsgKind::DiffRequest, CTRL_BYTES, p, q);
+            ctx.w.msg(MsgKind::DiffReply, reply_bytes, q, p);
+            remote_writers += 1;
+            total_reply_bytes += reply_bytes;
+            ctx.interrupt(q);
+            // Mechanism 1 (§3.1.2): diff requests piggyback the
+            // requester's perception of the page.
+            if ctx.w.cfg.protocol.is_adaptive() {
+                ctx.w.pages[pgidx].reports_sw[pidx] = my_mode_sw;
+                mechanism1_consensus(ctx.w, page);
+            }
+        }
+    }
+    if remote_writers > 0 {
+        // Requests go out in parallel (one round-trip of fixed latency),
+        // but the replies serialise on the requester's link: the byte
+        // time is the *sum* over writers. This is what makes diff
+        // accumulation expensive (§3.2), exactly as the paper argues.
+        let fixed = cost_model.msg_fixed + cost_model.service_interrupt + cost_model.msg_fixed;
+        let bytes = (total_reply_bytes
+            + remote_writers as usize * (CTRL_BYTES + 2 * adsm_netsim::MSG_HEADER_BYTES))
+            as u64;
+        ctx.charge(fixed + SimTime::from_ns(cost_model.per_byte_ns * bytes));
+    }
+
+    // 4. Apply in a linear extension of happened-before-1.
+    to_apply.sort_by_key(|(id, _)| apply_key(ctx.w, *id));
+    let mut apply_cost = SimTime::ZERO;
+    {
+        let mut mem = ctx.mems[pidx].lock();
+        for (iv, diff) in &to_apply {
+            let before = super::trace_word::watched()
+                .map(|_| mem.page(page).to_vec());
+            diff.apply(mem.page_mut(page));
+            if let Some(b) = before {
+                super::trace_word::log_change(
+                    &format!("apply {iv} at {p}"), page, &b, mem.page(page));
+            }
+            apply_cost += cost_model.diff_apply(diff.modified_bytes());
+            ctx.w.proto.diffs_applied += 1;
+        }
+        // Bring an open write session through the merge. Two cases:
+        //
+        // * A whole page was installed: the local uncommitted writes were
+        //   overwritten; the merged page is the new twin and the saved
+        //   delta is re-applied on top.
+        // * No install: the local copy still contains the uncommitted
+        //   writes, so the merged page must NOT become the twin (the
+        //   session's writes would be baked into it and silently vanish
+        //   from the next diff). Instead the *old* twin is brought
+        //   forward by applying the same diffs to it.
+        if let Some(delta) = delta {
+            if installed {
+                let base = mem.page(page).to_vec();
+                delta.apply(mem.page_mut(page));
+                ctx.w.procs[pidx].pages[pgidx].twin = Some(base);
+            } else {
+                let mut twin = ctx.w.procs[pidx].pages[pgidx]
+                    .twin
+                    .take()
+                    .expect("delta implies twin");
+                for (_, diff) in &to_apply {
+                    diff.apply(&mut twin);
+                }
+                ctx.w.procs[pidx].pages[pgidx].twin = Some(twin);
+            }
+        }
+        let rights = if ctx.w.procs[pidx].pages[pgidx].twin.is_some() {
+            AccessRights::Write
+        } else {
+            AccessRights::Read
+        };
+        mem.set_rights(page, rights);
+    }
+    ctx.charge(apply_cost);
+
+    let pc = &mut ctx.w.procs[pidx].pages[pgidx];
+    pc.missing.clear();
+    pc.has_copy = true;
+    ctx.w.pages[pgidx].copyset[pidx] = true;
+}
+
+/// Fetches a whole page from `q` into `p`'s memory (request + reply
+/// messages, WFS+WG read-sharing probe hook).
+pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: PageId) {
+    debug_assert_ne!(p, q);
+    // The server brings its copy up to date before serving, exactly as
+    // the real implementation's page-request handler does. Without this,
+    // the requester's domination deletion (which trusts the served copy
+    // to reflect the server's knowledge) can drop notices whose
+    // modifications the served bytes do not actually contain.
+    if !ctx.w.procs[q.index()].pages[page.index()].missing.is_empty() {
+        validate_page(ctx, q, page);
+    }
+    let bytes = serve_page_bytes(ctx.w, ctx.mems, q, page);
+    ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, q);
+    ctx.w.msg(MsgKind::PageReply, PAGE_SIZE, q, p);
+    let cost = ctx.w.cfg.cost.rtt(CTRL_BYTES, PAGE_SIZE);
+    ctx.charge(cost);
+    ctx.interrupt(q);
+    {
+        let mut mem = ctx.mems[p.index()].lock();
+        let before = super::trace_word::watched().map(|_| mem.page(page).to_vec());
+        mem.install_page(page, &bytes);
+        if let Some(b) = before {
+            super::trace_word::log_change(
+                &format!("install {p} <- {q}"), page, &b, mem.page(page));
+        }
+    }
+    ctx.w.proto.pages_transferred += 1;
+
+    // WFS+WG (§3.3): a page becomes read-write shared as soon as another
+    // processor fetches it from its writing owner — switch it to MW mode
+    // (via a deferred ownership drop) so the write granularity can be
+    // measured.
+    if ctx.w.cfg.protocol == ProtocolKind::WfsWg
+        && ctx.w.pages[page.index()].owner == Some(q)
+        && ctx.w.profiler.other_writers(page, p).iter().any(|iv| iv.proc == q)
+    {
+        ctx.w.pages[page.index()].drop_pending = true;
+    }
+}
+
+/// Source for a processor's first-ever copy of a page: the authoritative
+/// owner if it has a copy, otherwise the lowest-id processor holding one,
+/// otherwise the initial owner (whose zero-filled image is the initial
+/// page content).
+pub(crate) fn initial_source(w: &World, p: ProcId, page: PageId) -> ProcId {
+    let pg = &w.pages[page.index()];
+    if let Some(owner) = pg.owner {
+        if owner == p {
+            return p;
+        }
+        // The owner only serves if it actually holds a copy (after a
+        // garbage collection it may have been dropped under pure MW).
+        if w.procs[owner.index()].pages[page.index()].has_copy {
+            return owner;
+        }
+    }
+    for q in ProcId::all(w.nprocs()) {
+        if q != p && w.procs[q.index()].pages[page.index()].has_copy {
+            return q;
+        }
+    }
+    ProcId::new(0)
+}
+
+/// Mechanism 1 (§3.1.2): if every processor in the approximate copyset
+/// reports that it perceives the page as SW, ownership requests resume —
+/// copyset members' beliefs flip back to SW so their next write fault
+/// asks the last perceived owner for ownership.
+pub(crate) fn mechanism1_consensus(w: &mut World, page: PageId) {
+    let pgidx = page.index();
+    let all_sw = w.pages[pgidx]
+        .copyset
+        .iter()
+        .zip(&w.pages[pgidx].reports_sw)
+        .all(|(&in_set, &sw)| !in_set || sw);
+    if !all_sw {
+        return;
+    }
+    if w.cfg.protocol == ProtocolKind::WfsWg && !w.pages[pgidx].wants_sw {
+        return;
+    }
+    for q in 0..w.nprocs() {
+        if !w.pages[pgidx].copyset[q] {
+            continue;
+        }
+        let pc = &mut w.procs[q].pages[pgidx];
+        if pc.mode == PageMode::Mw && pc.twin.is_none() {
+            pc.mode = PageMode::Sw;
+            w.proto.switches_to_sw += 1;
+        }
+    }
+}

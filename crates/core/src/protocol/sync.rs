@@ -1,0 +1,312 @@
+//! Synchronisation: locks and barriers, carrying write notices per lazy
+//! release consistency (§2.1).
+//!
+//! Locks follow TreadMarks: a statically assigned manager forwards
+//! acquire requests to the current holder / last releaser; the grant
+//! carries the write notices the acquirer has not seen. Releases are
+//! purely local. Barriers are centralised at processor 0; arrivals carry
+//! the arriver's new intervals and the release broadcast carries the
+//! merged set. Barrier time is also when diff garbage collection and the
+//! adaptive protocols' barrier-time detection (mechanism 3 of §3.1.2)
+//! run.
+
+use adsm_mempage::AccessRights;
+use adsm_netsim::{MsgKind, SimTime, TraceKind};
+use adsm_vclock::{ProcId, VectorClock};
+
+use super::gc;
+use super::lrc::{self, Ctx, CTRL_BYTES};
+use crate::notice::{NoticeKind, PendingNotice};
+use crate::world::{Hvn, LockState, PageMode};
+use crate::ProtocolKind;
+
+/// Outcome of the first half of a lock acquire.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum AcquireOutcome {
+    /// Lock granted immediately; the acquire is complete.
+    Granted,
+    /// Lock is held: the caller must block; the releaser finishes the
+    /// handshake (integration + wake-up).
+    MustBlock,
+}
+
+/// First half of a lock acquire: request (+forward) messages, immediate
+/// grant if the lock is free, enqueue otherwise.
+pub(crate) fn acquire(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) -> AcquireOutcome {
+    ctx.drain_deferred();
+    let nprocs = ctx.w.nprocs();
+    let manager = ProcId::new((lock_id as usize) % nprocs);
+    let state = ctx
+        .w
+        .locks
+        .entry(lock_id)
+        .or_insert_with(|| LockState {
+            holder: None,
+            queue: std::collections::VecDeque::new(),
+            last_releaser: manager,
+            release_time: SimTime::ZERO,
+        });
+
+    let holder = state.holder;
+    let last_releaser = state.last_releaser;
+
+    // Fast path: free lock whose last releaser is the requester — it
+    // still caches everything; no messages at all (lock caching).
+    if holder.is_none() && last_releaser == p {
+        ctx.w.locks.get_mut(&lock_id).expect("lock exists").holder = Some(p);
+        return AcquireOutcome::Granted;
+    }
+
+    let target = holder.unwrap_or(last_releaser);
+    let c_req = ctx.w.msg(MsgKind::LockRequest, CTRL_BYTES, p, manager);
+    let c_fwd = if manager != target {
+        ctx.w.msg(MsgKind::LockForward, CTRL_BYTES, manager, target)
+    } else {
+        SimTime::ZERO
+    };
+    ctx.charge(c_req + c_fwd);
+
+    if holder.is_none() {
+        // Grant from the last releaser: it closes its interval and ships
+        // its knowledge.
+        let cost_model = ctx.w.cfg.cost.clone();
+        let grantor = last_releaser;
+        let now = ctx.now();
+        let close_cost = lrc::close_interval(ctx.w, ctx.mems, grantor, now);
+        ctx.charge_other(grantor, close_cost);
+        ctx.interrupt(grantor);
+
+        let grantor_vc = ctx.w.procs[grantor.index()].vc.clone();
+        let bytes = lrc::integrate_from(ctx.w, ctx.mems, p, &grantor_vc);
+        let c_grant = ctx.w.msg(MsgKind::LockGrant, CTRL_BYTES + bytes, grantor, p);
+        ctx.charge(cost_model.service_interrupt + close_cost + c_grant);
+
+        ctx.w.locks.get_mut(&lock_id).expect("lock exists").holder = Some(p);
+        AcquireOutcome::Granted
+    } else {
+        ctx.w
+            .locks
+            .get_mut(&lock_id)
+            .expect("lock exists")
+            .queue
+            .push_back(p);
+        AcquireOutcome::MustBlock
+    }
+}
+
+/// Lock release: local under LRC. If waiters are queued, the releaser
+/// services the head: closes its interval, ships notices, applies the
+/// acquirer's invalidations, and wakes it.
+pub(crate) fn release(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) {
+    ctx.drain_deferred();
+    let state = ctx
+        .w
+        .locks
+        .get_mut(&lock_id)
+        .unwrap_or_else(|| panic!("release of unknown lock {lock_id}"));
+    assert_eq!(
+        state.holder,
+        Some(p),
+        "lock {lock_id} released by non-holder {p}"
+    );
+    state.holder = None;
+    state.last_releaser = p;
+    state.release_time = ctx.task.clock();
+    let next = state.queue.pop_front();
+
+    if let Some(r) = next {
+        let cost_model = ctx.w.cfg.cost.clone();
+        let now = ctx.now();
+        let close_cost = lrc::close_interval(ctx.w, ctx.mems, p, now);
+        ctx.charge(close_cost + cost_model.service_interrupt);
+
+        let my_vc = ctx.w.procs[p.index()].vc.clone();
+        let bytes = lrc::integrate_from(ctx.w, ctx.mems, r, &my_vc);
+        let c_grant = ctx.w.msg(MsgKind::LockGrant, CTRL_BYTES + bytes, p, r);
+
+        let st = ctx.w.locks.get_mut(&lock_id).expect("lock exists");
+        st.holder = Some(r);
+        let wake = ctx.now() + c_grant;
+        ctx.task.unblock(r.index(), wake);
+    }
+}
+
+/// Outcome of a barrier arrival.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum BarrierOutcome {
+    /// Not everyone has arrived; the caller must block.
+    MustBlock,
+    /// This processor completed the barrier (it arrived last) — everyone
+    /// else has been integrated and woken.
+    Completed,
+}
+
+/// Barrier arrival. The last arriver performs the completion work:
+/// global notice exchange, adaptive mechanism 3, garbage collection if
+/// requested, and the release broadcast.
+pub(crate) fn barrier_arrive(ctx: &mut Ctx<'_>, p: ProcId) -> BarrierOutcome {
+    ctx.drain_deferred();
+    let nprocs = ctx.w.nprocs();
+    let manager = ProcId::new(0);
+    let now = ctx.now();
+    let close_cost = lrc::close_interval(ctx.w, ctx.mems, p, now);
+    ctx.charge(close_cost);
+
+    // Arrival message carries the arriver's new intervals.
+    let arrive_bytes = new_interval_bytes(ctx.w, p);
+    let c_arr = ctx.w.msg(MsgKind::BarrierArrive, arrive_bytes, p, manager);
+    ctx.charge(c_arr);
+
+    let arrival = ctx.now();
+    ctx.w.barrier.arrived[p.index()] = Some(arrival);
+
+    if ctx.w.barrier.arrived.iter().any(|a| a.is_none()) {
+        return BarrierOutcome::MustBlock;
+    }
+
+    // --- Completion (this processor arrived last) ---
+    let t0 = ctx
+        .w
+        .barrier
+        .arrived
+        .iter()
+        .map(|a| a.expect("all arrived"))
+        .fold(SimTime::ZERO, SimTime::max);
+    ctx.task.advance_to(t0);
+    let cost_model = ctx.w.cfg.cost.clone();
+    ctx.charge(cost_model.service_interrupt);
+
+    // Global knowledge: merge of all clocks; integrate it everywhere.
+    let mut global_vc = VectorClock::new(nprocs);
+    for q in ProcId::all(nprocs) {
+        let vc = ctx.w.procs[q.index()].vc.clone();
+        global_vc.merge(&vc);
+    }
+    let mut release_payloads = vec![0usize; nprocs];
+    for q in ProcId::all(nprocs) {
+        release_payloads[q.index()] =
+            lrc::integrate_from(ctx.w, ctx.mems, q, &global_vc);
+    }
+
+    // Adaptive barrier-time detection (mechanism 3), then GC.
+    if ctx.w.cfg.protocol.is_adaptive() {
+        mechanism3(ctx);
+    }
+    if ctx.w.gc_requested {
+        gc::collect(ctx);
+    }
+    ctx.w.barrier_notice_pages.clear();
+
+    // Release broadcast.
+    let completion = ctx.now();
+    for q in ProcId::all(nprocs) {
+        let c_rel = ctx.w.msg(
+            MsgKind::BarrierRelease,
+            CTRL_BYTES + release_payloads[q.index()],
+            manager,
+            q,
+        );
+        if q == p {
+            ctx.charge(c_rel);
+        } else {
+            ctx.task.unblock(q.index(), completion + c_rel);
+        }
+    }
+    if p != manager {
+        ctx.interrupt(manager);
+    }
+
+    ctx.w.barrier.arrived = vec![None; nprocs];
+    ctx.w.barrier.episodes += 1;
+    ctx.w.barrier.last_release_vc = global_vc;
+    ctx.w.trace_event(completion, TraceKind::Barrier);
+    BarrierOutcome::Completed
+}
+
+/// Payload of a barrier-arrival message: the intervals this processor
+/// knows that were closed since the last barrier release.
+fn new_interval_bytes(w: &crate::world::World, p: ProcId) -> usize {
+    let base = &w.barrier.last_release_vc;
+    let mine = &w.procs[p.index()].vc;
+    let mut bytes = 0usize;
+    for q in ProcId::all(w.nprocs()) {
+        let from = base.get(q);
+        let to = mine.get(q);
+        for seq in (from + 1)..=to {
+            bytes += w.log[q.index()][(seq - 1) as usize].wire_size();
+        }
+    }
+    bytes
+}
+
+/// Mechanism 3 (§3.1.2): at a barrier every processor is up to date; if
+/// one write notice for a page dominates all others, write-write false
+/// sharing has stopped. The dominating writer becomes the page's owner
+/// (its copy is validated here so it can serve future misses) and every
+/// processor's belief flips to SW.
+fn mechanism3(ctx: &mut Ctx<'_>) {
+    let pages: Vec<_> = ctx.w.barrier_notice_pages.iter().copied().collect();
+    for page in pages {
+        let pgidx = page.index();
+        if ctx.w.pages[pgidx].owner.is_some() {
+            continue; // still under SW handling somewhere
+        }
+        if ctx.w.cfg.protocol == ProtocolKind::WfsWg && !ctx.w.pages[pgidx].wants_sw {
+            continue; // small diffs: stay in MW mode (§3.3 priority rule)
+        }
+        let cands = ctx.w.profiler.last_writes(page);
+        if cands.is_empty() {
+            continue;
+        }
+        let dominator = cands.iter().copied().find(|c| {
+            cands
+                .iter()
+                .all(|o| o == c || ctx.w.vc_of(*c).covers(*o))
+        });
+        let Some(dom) = dominator else {
+            continue; // concurrent writers remain: still falsely shared
+        };
+        let wlast = dom.proc;
+
+        // Validate the new owner's copy so it can serve whole pages.
+        if !ctx.w.procs[wlast.index()].pages[pgidx].missing.is_empty()
+            || !ctx.mems[wlast.index()].lock().rights(page).readable()
+        {
+            lrc::validate_page(ctx, wlast, page);
+        }
+
+        let version = ctx.w.pages[pgidx].version + 1;
+        ctx.w.pages[pgidx].version = version;
+        ctx.w.pages[pgidx].owner = Some(wlast);
+        ctx.w.pages[pgidx].owner_since = ctx.now();
+        ctx.w.pages[pgidx].drop_pending = false;
+
+        for q in 0..ctx.w.nprocs() {
+            let readable = ctx.mems[q].lock().rights(page).readable();
+            let pc = &mut ctx.w.procs[q].pages[pgidx];
+            debug_assert!(pc.twin.is_none(), "no open sessions at a barrier");
+            if pc.mode == PageMode::Mw {
+                pc.mode = PageMode::Sw;
+                ctx.w.proto.switches_to_sw += 1;
+            }
+            pc.hvn = Some(Hvn {
+                version,
+                proc: wlast,
+            });
+            if !readable && q != wlast.index() {
+                // Invalid copies re-fetch from the new owner.
+                pc.missing = vec![PendingNotice {
+                    interval: dom,
+                    kind: NoticeKind::Owner(version),
+                }];
+            }
+        }
+        // The owner's page is re-protected so its next write is detected.
+        ctx.mems[wlast.index()]
+            .lock()
+            .set_rights(page, AccessRights::Read);
+        let now = ctx.now();
+        ctx.w.trace_event(now, TraceKind::SwitchToSw);
+    }
+}
+

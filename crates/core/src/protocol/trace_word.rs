@@ -1,0 +1,41 @@
+//! Debug facility: trace every protocol event affecting one 8-byte word
+//! of the shared space.
+//!
+//! Enabled by setting `ADSM_TRACE_WORD=<page>:<byte-offset>`; every diff
+//! creation, diff application, and page install that changes the watched
+//! word logs to stderr. Zero overhead when the variable is unset (the
+//! lookup happens once).
+
+use std::sync::OnceLock;
+
+use adsm_mempage::PageId;
+
+/// The watched (page, byte offset), if any.
+pub(crate) fn watched() -> Option<(usize, usize)> {
+    static WATCH: OnceLock<Option<(usize, usize)>> = OnceLock::new();
+    *WATCH.get_or_init(|| {
+        let spec = std::env::var("ADSM_TRACE_WORD").ok()?;
+        let (pg, off) = spec.split_once(':')?;
+        Some((pg.parse().ok()?, off.parse().ok()?))
+    })
+}
+
+/// Reads the watched word out of a page buffer as a u64 bit pattern.
+fn word_of(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Logs `event` if `page` is watched and the word differs between
+/// `before` and `after` (pass the same slice twice to always log).
+pub(crate) fn log_change(event: &str, page: PageId, before: &[u8], after: &[u8]) {
+    let Some((pg, off)) = watched() else { return };
+    if page.index() != pg {
+        return;
+    }
+    let b = word_of(before, off);
+    let a = word_of(after, off);
+    if b != a {
+        eprintln!("[trace-word] {event}: {b:#018x} -> {a:#018x}");
+    }
+}
+

@@ -1,0 +1,451 @@
+//! The run driver: builds the cluster, spawns one thread per processor,
+//! runs the application closures under the deterministic engine, and
+//! produces the [`RunReport`] plus the final merged memory image.
+
+use std::fmt;
+use std::sync::Arc;
+
+use adsm_engine::Engine;
+use adsm_mempage::{page_count, PagedMemory, Pod, PAGE_SIZE};
+use adsm_netsim::{CostModel, SimTime};
+use adsm_vclock::ProcId;
+use parking_lot::Mutex;
+
+use crate::metrics::RunReport;
+use crate::protocol::{lrc, Ctx};
+use crate::world::World;
+use crate::{DsmConfig, Proc, ProtocolKind, SharedVec};
+
+/// Errors surfaced by [`Dsm::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Every processor ended up blocked (application synchronisation
+    /// bug).
+    Deadlock,
+    /// An application closure panicked; the payload message is included.
+    AppPanic(String),
+    /// The configuration is invalid (e.g. the Raw protocol with more
+    /// than one processor).
+    BadConfig(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock => f.write_str("all simulated processors are blocked"),
+            RunError::AppPanic(m) => write!(f, "application panicked: {m}"),
+            RunError::BadConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Builder for a [`Dsm`].
+///
+/// # Examples
+///
+/// ```
+/// use adsm_core::{Dsm, ProtocolKind};
+/// use adsm_netsim::CostModel;
+///
+/// let dsm = Dsm::builder(ProtocolKind::Wfs)
+///     .nprocs(8)
+///     .cost_model(CostModel::sparc_atm())
+///     .build();
+/// assert_eq!(dsm.nprocs(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DsmBuilder {
+    cfg: DsmConfig,
+}
+
+impl DsmBuilder {
+    /// Starts a builder for the given protocol with paper defaults
+    /// (8 processors, SPARC/ATM cost model).
+    pub fn new(protocol: ProtocolKind) -> Self {
+        DsmBuilder {
+            cfg: DsmConfig::new(protocol),
+        }
+    }
+
+    /// Sets the number of simulated processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn nprocs(mut self, n: usize) -> Self {
+        assert!(n > 0, "a cluster needs at least one processor");
+        self.cfg.nprocs = n;
+        self
+    }
+
+    /// Sets the virtual-time cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Enables the migratory-data ownership optimisation (§7 future
+    /// work): once a page is observed to migrate (read miss followed by
+    /// a write from the same processor, repeatedly), ownership moves on
+    /// the read miss, eliminating the separate ownership exchange.
+    /// Adaptive protocols only; ignored by MW/SW.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Wfs)
+    ///     .nprocs(4)
+    ///     .migratory_optimization(true)
+    ///     .build();
+    /// assert_eq!(dsm.nprocs(), 4);
+    /// ```
+    pub fn migratory_optimization(mut self, on: bool) -> Self {
+        self.cfg.migratory_opt = on;
+        self
+    }
+
+    /// Sets the home placement policy of the home-based LRC comparator
+    /// ([`ProtocolKind::Hlrc`]); every other protocol ignores it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, HomePolicy, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Hlrc)
+    ///     .nprocs(4)
+    ///     .home_policy(HomePolicy::FirstTouch)
+    ///     .build();
+    /// assert_eq!(dsm.protocol(), ProtocolKind::Hlrc);
+    /// ```
+    pub fn home_policy(mut self, policy: crate::HomePolicy) -> Self {
+        self.cfg.home_policy = policy;
+        self
+    }
+
+    /// Selects when multiple-writer diffs are encoded:
+    /// [`DiffStrategy::Eager`](crate::DiffStrategy::Eager) (default)
+    /// encodes at interval close; `Lazy` retains the twin and encodes on
+    /// first request or at the next local write, as TreadMarks does.
+    /// Lazy diffing is only supported by the pure MW protocol (the
+    /// adaptive protocols need close-time diff sizes for the
+    /// write-granularity test); [`Dsm::run`] rejects other combinations
+    /// with [`RunError::BadConfig`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{DiffStrategy, Dsm, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Mw)
+    ///     .nprocs(2)
+    ///     .diff_strategy(DiffStrategy::Lazy)
+    ///     .build();
+    /// assert_eq!(dsm.protocol(), ProtocolKind::Mw);
+    /// ```
+    pub fn diff_strategy(mut self, strategy: crate::DiffStrategy) -> Self {
+        self.cfg.diff_strategy = strategy;
+        self
+    }
+
+    /// Enables **schedule fuzzing**: the engine picks the next processor
+    /// pseudo-randomly (seeded) at every turn point instead of by least
+    /// virtual clock. Every fuzzed schedule is a causally valid
+    /// execution, so data-race-free programs must produce identical
+    /// results under any seed — the robustness property the
+    /// `schedule_fuzz` tests exercise. Timing reports from fuzzed runs
+    /// are not meaningful.
+    pub fn schedule_fuzz(mut self, seed: u64) -> Self {
+        self.cfg.schedule_fuzz = Some(seed);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Dsm {
+        Dsm {
+            cfg: self.cfg,
+            cursor: 0,
+        }
+    }
+}
+
+/// A configured DSM system: allocate shared arrays, then [`Dsm::run`] the
+/// application.
+#[derive(Debug)]
+pub struct Dsm {
+    cfg: DsmConfig,
+    cursor: usize,
+}
+
+impl Dsm {
+    /// Shorthand for [`DsmBuilder::new`].
+    pub fn builder(protocol: ProtocolKind) -> DsmBuilder {
+        DsmBuilder::new(protocol)
+    }
+
+    /// Number of processors configured.
+    pub fn nprocs(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    /// Protocol configured.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.cfg.protocol
+    }
+
+    /// Allocates a shared array of `len` elements (8-byte aligned).
+    pub fn alloc<T: Pod>(&mut self, len: usize) -> SharedVec<T> {
+        self.cursor = align_up(self.cursor, T::SIZE.max(8));
+        let v = SharedVec::from_raw(self.cursor, len);
+        self.cursor += len * T::SIZE;
+        v
+    }
+
+    /// Allocates a shared array starting on a fresh page — the layout
+    /// the paper's applications use for their principal arrays.
+    pub fn alloc_page_aligned<T: Pod>(&mut self, len: usize) -> SharedVec<T> {
+        self.cursor = align_up(self.cursor, PAGE_SIZE);
+        self.alloc(len)
+    }
+
+    /// Pads the shared space to the next page boundary (so the next
+    /// allocation does not share a page with the previous one).
+    pub fn pad_to_page(&mut self) {
+        self.cursor = align_up(self.cursor, PAGE_SIZE);
+    }
+
+    /// Bytes of shared space allocated so far.
+    pub fn allocated_bytes(&self) -> usize {
+        self.cursor
+    }
+
+    /// Runs `app` on every processor to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] if all processors block,
+    /// [`RunError::AppPanic`] if a closure panics, and
+    /// [`RunError::BadConfig`] for invalid configurations.
+    pub fn run<F>(self, app: F) -> Result<RunOutcome, RunError>
+    where
+        F: Fn(&mut Proc) + Send + Sync + 'static,
+    {
+        let mut cfg = self.cfg;
+        if cfg.protocol == ProtocolKind::Raw && cfg.nprocs != 1 {
+            return Err(RunError::BadConfig(
+                "the Raw baseline only supports a single processor".into(),
+            ));
+        }
+        if cfg.diff_strategy == crate::DiffStrategy::Lazy
+            && cfg.protocol != ProtocolKind::Mw
+        {
+            return Err(RunError::BadConfig(
+                "lazy diffing is only supported by the MW protocol".into(),
+            ));
+        }
+        cfg.npages = page_count(self.cursor).max(1);
+        let nprocs = cfg.nprocs;
+        let npages = cfg.npages;
+        let protocol = cfg.protocol;
+
+        let world = Arc::new(Mutex::new(World::new(cfg)));
+        let mems: Arc<Vec<Mutex<PagedMemory>>> = Arc::new(
+            (0..nprocs)
+                .map(|_| Mutex::new(PagedMemory::new(npages)))
+                .collect(),
+        );
+        let engine = match world.lock().cfg.schedule_fuzz {
+            Some(seed) => Engine::with_fuzz_seed(nprocs, seed),
+            None => Engine::new(nprocs),
+        };
+        let app = Arc::new(app);
+
+        let access_cost = world.lock().cfg.cost.shared_access;
+        let mem_per_byte_ns = world.lock().cfg.cost.mem_per_byte_ns;
+        let mut joins = Vec::with_capacity(nprocs);
+        for id in 0..nprocs {
+            let mut proc = Proc {
+                task: engine.task(id),
+                id: ProcId::new(id),
+                nprocs,
+                world: world.clone(),
+                mems: mems.clone(),
+                raw: Proc::is_raw(protocol),
+                access_cost,
+                mem_per_byte_ns,
+            };
+            let app = app.clone();
+            let eng = engine.clone();
+            joins.push(std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    proc.task.begin();
+                    app(&mut proc);
+                    proc.task.finish();
+                }));
+                if let Err(payload) = result {
+                    eng.poison();
+                    std::panic::resume_unwind(payload);
+                }
+            }));
+        }
+
+        let mut failure: Option<String> = None;
+        for j in joins {
+            if let Err(payload) = j.join() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "unknown panic".into());
+                // Keep the most informative message: prefer real app
+                // panics over the poison echoes.
+                let is_echo = msg.contains("poisoned");
+                match &failure {
+                    None => failure = Some(msg),
+                    Some(prev) if prev.contains("poisoned") && !is_echo => {
+                        failure = Some(msg)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(msg) = failure {
+            if msg.contains("blocked") {
+                return Err(RunError::Deadlock);
+            }
+            return Err(RunError::AppPanic(msg));
+        }
+
+        let proc_times = engine.clocks();
+        let time = proc_times
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+
+        let mut w = Arc::try_unwrap(world)
+            .map_err(|_| ())
+            .expect("all threads joined")
+            .into_inner();
+        let report = RunReport {
+            protocol,
+            nprocs,
+            time,
+            proc_times,
+            net: w.net.clone(),
+            proto: w.proto.clone(),
+            trace: w.trace.clone(),
+            profile: w.profiler.summary(),
+            final_sw_pages: w.sw_majority_pages(),
+            touched_pages: w.touched_pages(),
+        };
+
+        let mems = Arc::try_unwrap(mems).map_err(|_| ()).expect("threads joined");
+        let image = finalize_image(&mut w, &mems, protocol, npages);
+
+        Ok(RunOutcome { report, image })
+    }
+}
+
+fn align_up(x: usize, align: usize) -> usize {
+    x.div_ceil(align) * align
+}
+
+/// After the run, merge everything into a single coherent image (the
+/// view an external observer fetching every page would see). Uses the
+/// protocol's own validation path on processor 0, off the clock.
+fn finalize_image(
+    w: &mut World,
+    mems: &[Mutex<PagedMemory>],
+    protocol: ProtocolKind,
+    npages: usize,
+) -> Vec<u8> {
+    if protocol == ProtocolKind::Raw {
+        return mems[0].lock().raw(0, npages * PAGE_SIZE).to_vec();
+    }
+    // Close any open intervals so uncommitted writes become diffs or
+    // owner notices (under HLRC, so they are flushed to their homes).
+    for p in ProcId::all(w.nprocs()) {
+        let _ = lrc::close_interval(w, mems, p, SimTime::ZERO);
+    }
+    w.deferred_costs.clear();
+    // The comparators keep one authoritative frame per page: the owner's
+    // under SC, the home's under HLRC. Assemble the image from those.
+    if matches!(protocol, ProtocolKind::Sc | ProtocolKind::Hlrc) {
+        for pg in 0..npages {
+            let page = adsm_mempage::PageId::new(pg);
+            let src = match protocol {
+                ProtocolKind::Sc => w.pages[pg].owner.expect("SC pages have owners"),
+                // An unresolved home means the page was never faulted:
+                // every frame still holds its initial zeros.
+                _ => w.pages[pg].home.unwrap_or(ProcId::new(0)),
+            };
+            if src.index() != 0 {
+                let bytes = mems[src.index()].lock().page(page).to_vec();
+                mems[0].lock().install_page(page, &bytes);
+            }
+        }
+        return mems[0].lock().raw(0, npages * PAGE_SIZE).to_vec();
+    }
+    // Walk proc 0 over every page with a scratch engine (costs are
+    // irrelevant; the report was already taken).
+    let scratch = Engine::new(w.nprocs());
+    let mut task = scratch.task(0);
+    task.begin();
+    let p0 = ProcId::new(0);
+    for pg in 0..npages {
+        let page = adsm_mempage::PageId::new(pg);
+        let needs = {
+            let mem = mems[0].lock();
+            !mem.rights(page).readable()
+        } || !w.procs[0].pages[pg].missing.is_empty();
+        if needs {
+            let mut ctx = Ctx {
+                w,
+                mems,
+                task: &mut task,
+            };
+            lrc::validate_page(&mut ctx, p0, page);
+        }
+    }
+    task.finish();
+    mems[0].lock().raw(0, npages * PAGE_SIZE).to_vec()
+}
+
+/// Result of a completed run: the measurements and the final coherent
+/// memory image.
+pub struct RunOutcome {
+    /// Everything measured during the run.
+    pub report: RunReport,
+    image: Vec<u8>,
+}
+
+impl fmt::Debug for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOutcome")
+            .field("report", &self.report)
+            .field("image_bytes", &self.image.len())
+            .finish()
+    }
+}
+
+impl RunOutcome {
+    /// Reads a shared array out of the final coherent image.
+    pub fn read_vec<T: Pod>(&self, v: &SharedVec<T>) -> Vec<T> {
+        (0..v.len())
+            .map(|i| {
+                let addr = v.addr(i);
+                T::load_le(&self.image[addr..addr + T::SIZE])
+            })
+            .collect()
+    }
+
+    /// Reads a single element out of the final coherent image.
+    pub fn read_elem<T: Pod>(&self, v: &SharedVec<T>, i: usize) -> T {
+        let addr = v.addr(i);
+        T::load_le(&self.image[addr..addr + T::SIZE])
+    }
+}

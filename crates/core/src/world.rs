@@ -1,0 +1,455 @@
+//! Central protocol state for a run.
+//!
+//! `World` plays the role of every node's protocol metadata plus the
+//! "wires" between them. Distributed state that the real system keeps
+//! per-node (interval logs, write notices, diff stores, page modes) is
+//! kept per-processor here; state whose distribution the paper's
+//! protocols make *authoritative at one node at a time* (page ownership,
+//! version numbers, lock queues) is centralised, with every state change
+//! still charged the messages the real protocol would send.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use adsm_mempage::{Diff, PageId};
+use adsm_netsim::{MsgKind, NetStats, SimTime, Trace};
+use adsm_vclock::{IntervalId, ProcId, VectorClock};
+
+use crate::metrics::ProtocolStats;
+use crate::notice::{IntervalInfo, PendingNotice};
+use crate::profile::Profiler;
+use crate::DsmConfig;
+
+/// Per-page, per-processor protocol mode (the paper's "state variable",
+/// §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub(crate) enum PageMode {
+    /// Single-writer handling: whole pages, ownership, versions.
+    #[default]
+    Sw,
+    /// Multiple-writer handling: twins and diffs.
+    Mw,
+}
+
+/// Highest-version owner write notice a processor has received for a
+/// page — the "last perceived owner" of §3.1.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Hvn {
+    pub version: u32,
+    pub proc: ProcId,
+}
+
+/// A closed interval's retained twin under lazy diffing: the diff is
+/// encoded from it on first request or at the next local write.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingDiff {
+    /// The interval whose modifications the twin captures the base of.
+    pub interval: IntervalId,
+    /// The page image at the start of that interval.
+    pub twin: Vec<u8>,
+}
+
+/// Per-processor, per-page protocol state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PageCtl {
+    /// Has this processor ever held a copy of the page?
+    pub has_copy: bool,
+    /// SW/MW belief of this processor for this page.
+    pub mode: PageMode,
+    /// Twin (copy made at the first write of an interval), MW mode only.
+    pub twin: Option<Vec<u8>>,
+    /// Written during the currently open interval?
+    pub dirty: bool,
+    /// Write notices received and not yet applied to the local copy.
+    pub missing: Vec<PendingNotice>,
+    /// Highest-version owner notice received.
+    pub hvn: Option<Hvn>,
+    /// Lazy diffing: the last closed interval's twin, not yet encoded.
+    pub pending: Option<PendingDiff>,
+}
+
+/// Authoritative (directory) per-page state.
+#[derive(Clone, Debug)]
+pub(crate) struct PageGlobal {
+    /// Current owner, if the page is under single-writer handling
+    /// somewhere. `None` after an owner dropped ownership (page fully in
+    /// MW mode).
+    pub owner: Option<ProcId>,
+    /// Version number, incremented at every ownership acquisition.
+    pub version: u32,
+    /// When the current owner acquired ownership (for the SW quantum).
+    pub owner_since: SimTime,
+    /// The owner was refused-against or saw a concurrent writer: it will
+    /// emit a final owner notice and drop ownership at its next interval
+    /// close (§3.1.1: the owner cannot drop immediately — it has no twin).
+    pub drop_pending: bool,
+    /// Approximate copyset: processors that have fetched this page.
+    pub copyset: Vec<bool>,
+    /// Mechanism-1 state (§3.1.2): per-processor "I perceive this page as
+    /// SW" reports, piggybacked on diff requests.
+    pub reports_sw: Vec<bool>,
+    /// Most recent diff size for the page (bytes of modified data), for
+    /// the write-granularity test of WFS+WG.
+    pub last_diff_bytes: usize,
+    /// WFS+WG: a writer observed a large diff with no false sharing and
+    /// wants the page back in SW mode.
+    pub wants_sw: bool,
+    /// Any processor ever accessed the page.
+    pub touched: bool,
+    /// Migratory-pattern detector (§7 extension): the last processor
+    /// that read-faulted the page.
+    pub last_read_faulter: Option<ProcId>,
+    /// Confidence that the page is migratory (saturating; >= 2 enables
+    /// ownership migration on read miss).
+    pub migratory_score: u8,
+    /// Ownership was acquired on a read miss and the owner has not
+    /// written yet (used to detect mispredictions).
+    pub read_owned: bool,
+    /// HLRC comparator: the page's home node, resolved on first fault
+    /// according to the configured [`HomePolicy`](crate::HomePolicy).
+    pub home: Option<ProcId>,
+}
+
+impl PageGlobal {
+    fn new(nprocs: usize, initial_owner: ProcId) -> Self {
+        PageGlobal {
+            owner: Some(initial_owner),
+            version: 0,
+            owner_since: SimTime::ZERO,
+            drop_pending: false,
+            copyset: vec![false; nprocs],
+            reports_sw: vec![true; nprocs],
+            last_diff_bytes: 0,
+            wants_sw: false,
+            touched: false,
+            last_read_faulter: None,
+            migratory_score: 0,
+            read_owned: false,
+            home: None,
+        }
+    }
+}
+
+/// Store of the diffs a processor has created (keyed by page and the
+/// interval whose modifications the diff records).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DiffStore {
+    map: BTreeMap<(PageId, IntervalId), Diff>,
+    /// Total wire bytes of stored diffs.
+    pub bytes: u64,
+}
+
+impl DiffStore {
+    pub fn insert(&mut self, page: PageId, interval: IntervalId, diff: Diff) {
+        self.bytes += diff.wire_size() as u64;
+        let prev = self.map.insert((page, interval), diff);
+        debug_assert!(prev.is_none(), "diff created twice for {page} {interval}");
+    }
+
+    pub fn get(&self, page: PageId, interval: IntervalId) -> Option<&Diff> {
+        self.map.get(&(page, interval))
+    }
+
+    /// Pages with at least one stored diff, deduplicated, in order.
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.map.keys().map(|(pg, _)| *pg).collect();
+        pages.dedup();
+        pages
+    }
+
+    /// Discards everything; returns (count, bytes) removed.
+    pub fn clear(&mut self) -> (u64, u64) {
+        let n = self.map.len() as u64;
+        let b = self.bytes;
+        self.map.clear();
+        self.bytes = 0;
+        (n, b)
+    }
+}
+
+/// One lock's distributed state (manager = statically assigned processor;
+/// grants come from the last releaser, as in TreadMarks).
+#[derive(Clone, Debug)]
+pub(crate) struct LockState {
+    pub holder: Option<ProcId>,
+    pub queue: VecDeque<ProcId>,
+    pub last_releaser: ProcId,
+    /// Virtual time of the last release.
+    pub release_time: SimTime,
+}
+
+/// Barrier episode state (centralised at the barrier manager, proc 0).
+#[derive(Clone, Debug)]
+pub(crate) struct BarrierState {
+    pub arrived: Vec<Option<SimTime>>,
+    pub episodes: u64,
+    /// Global knowledge at the last barrier release (everything everyone
+    /// knew); arrivals only need to ship intervals beyond this.
+    pub last_release_vc: VectorClock,
+}
+
+/// Per-processor protocol state.
+#[derive(Clone, Debug)]
+pub(crate) struct ProcCtl {
+    /// Vector clock: entry q = number of q's intervals whose write
+    /// notices this processor has received (own entry = own closed
+    /// intervals).
+    pub vc: VectorClock,
+    /// Pages written during the open interval.
+    pub dirty: Vec<PageId>,
+    /// Per-page state.
+    pub pages: Vec<PageCtl>,
+    /// Diffs this processor created.
+    pub diffs: DiffStore,
+    /// Bytes of retained (pending) twins under lazy diffing; counted
+    /// toward the garbage-collection trigger alongside `diffs.bytes`.
+    pub pending_bytes: u64,
+}
+
+/// The complete protocol state of one run. Crate-internal; accessed only
+/// during scheduler turns, via a mutex owned by the [`Dsm`](crate::Dsm).
+pub(crate) struct World {
+    pub cfg: DsmConfig,
+    pub procs: Vec<ProcCtl>,
+    pub pages: Vec<PageGlobal>,
+    /// Interval log per processor, indexed by `seq - 1`.
+    pub log: Vec<Vec<IntervalInfo>>,
+    pub locks: BTreeMap<u64, LockState>,
+    pub barrier: BarrierState,
+    /// A processor's diff space crossed the GC threshold; collect at the
+    /// next barrier.
+    pub gc_requested: bool,
+    /// Pages that received write notices since the last barrier (drives
+    /// the barrier-time detection mechanism 3 of §3.1.2).
+    pub barrier_notice_pages: BTreeSet<PageId>,
+    /// Virtual-time charges to *other* processors' clocks accumulated
+    /// where no engine handle is available (HLRC home-side diff applies
+    /// during interval close); drained at the next protocol entry point.
+    pub deferred_costs: Vec<(usize, SimTime)>,
+    pub net: NetStats,
+    pub proto: ProtocolStats,
+    pub trace: Trace,
+    pub profiler: Profiler,
+}
+
+impl World {
+    pub fn new(cfg: DsmConfig) -> Self {
+        let nprocs = cfg.nprocs;
+        let npages = cfg.npages;
+        let initial_owner = ProcId::new(0);
+        // Under the pure MW protocol every page is handled MW from the
+        // start; under SW and the adaptive protocols all pages start in
+        // SW mode (§3.3: "all pages start in SW mode").
+        let initial_mode = match cfg.protocol {
+            // HLRC never holds page ownership: every page is handled with
+            // twins and diffs (flushed to the home), i.e. MW mode.
+            crate::ProtocolKind::Mw | crate::ProtocolKind::Hlrc => PageMode::Mw,
+            _ => PageMode::Sw,
+        };
+        World {
+            procs: (0..nprocs)
+                .map(|_| ProcCtl {
+                    vc: VectorClock::new(nprocs),
+                    dirty: Vec::new(),
+                    pages: (0..npages)
+                        .map(|_| PageCtl {
+                            mode: initial_mode,
+                            ..PageCtl::default()
+                        })
+                        .collect(),
+                    diffs: DiffStore::default(),
+                    pending_bytes: 0,
+                })
+                .collect(),
+            pages: (0..npages)
+                .map(|_| PageGlobal::new(nprocs, initial_owner))
+                .collect(),
+            log: vec![Vec::new(); nprocs],
+            locks: BTreeMap::new(),
+            barrier: BarrierState {
+                arrived: vec![None; nprocs],
+                episodes: 0,
+                last_release_vc: VectorClock::new(nprocs),
+            },
+            gc_requested: false,
+            barrier_notice_pages: BTreeSet::new(),
+            deferred_costs: Vec::new(),
+            net: NetStats::new(),
+            proto: ProtocolStats::new(),
+            trace: Trace::new(),
+            profiler: Profiler::new(nprocs, npages),
+            cfg,
+        }
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    /// Looks up a closed interval's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval has not been closed (a protocol bug).
+    pub fn interval(&self, id: IntervalId) -> &IntervalInfo {
+        &self.log[id.proc.index()][(id.seq - 1) as usize]
+    }
+
+    /// Vector clock of a closed interval.
+    pub fn vc_of(&self, id: IntervalId) -> &VectorClock {
+        &self.interval(id).vc
+    }
+
+    /// Records and prices one message from `src` to `dst`. Messages a
+    /// node "sends to itself" are free and unrecorded, like local calls
+    /// in the real system.
+    pub fn msg(&mut self, kind: MsgKind, payload: usize, src: ProcId, dst: ProcId) -> SimTime {
+        if src == dst {
+            return SimTime::ZERO;
+        }
+        self.net.record(kind, payload);
+        self.cfg.cost.msg_cost(payload)
+    }
+
+    /// Emits a Figure-3 trace point with the current cluster-wide diff
+    /// population.
+    pub fn trace_event(&mut self, time: SimTime, kind: adsm_netsim::TraceKind) {
+        let diffs = self.proto.diffs_alive;
+        let bytes = self.proto.diff_bytes_alive + self.proto.twin_bytes_alive;
+        self.trace.push(time, kind, diffs, bytes);
+    }
+
+    /// Marks a page as touched by any processor (for Table 2's shared
+    /// page population).
+    pub fn touch(&mut self, page: PageId) {
+        self.pages[page.index()].touched = true;
+    }
+
+    /// Resolves (memoising on first use) the home node of a page under
+    /// the configured home policy. `faulter` decides first-touch homes.
+    pub fn home_of(&mut self, page: PageId, faulter: ProcId) -> ProcId {
+        let pg = &mut self.pages[page.index()];
+        if let Some(h) = pg.home {
+            return h;
+        }
+        let h = match self.cfg.home_policy {
+            crate::HomePolicy::RoundRobin => ProcId::new(page.index() % self.cfg.nprocs),
+            crate::HomePolicy::FirstTouch => faulter,
+            crate::HomePolicy::Fixed(p) => ProcId::new(p % self.cfg.nprocs),
+        };
+        pg.home = Some(h);
+        h
+    }
+
+    /// Pages touched during the run.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.touched).count()
+    }
+
+    /// Pages whose mode is SW on a majority of processors (final
+    /// adaptation outcome).
+    pub fn sw_majority_pages(&self) -> usize {
+        let half = self.nprocs() / 2;
+        (0..self.cfg.npages)
+            .filter(|&pg| {
+                self.pages[pg].touched
+                    && self
+                        .procs
+                        .iter()
+                        .filter(|pc| pc.pages[pg].mode == PageMode::Sw)
+                        .count()
+                        > half
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolKind;
+
+    fn world(npages: usize) -> World {
+        let mut cfg = DsmConfig::new(ProtocolKind::Wfs);
+        cfg.nprocs = 4;
+        cfg.npages = npages;
+        World::new(cfg)
+    }
+
+    #[test]
+    fn fresh_world_has_proc0_owner_everywhere() {
+        let w = world(3);
+        for pg in &w.pages {
+            assert_eq!(pg.owner, Some(ProcId::new(0)));
+            assert_eq!(pg.version, 0);
+            assert!(!pg.touched);
+        }
+        assert_eq!(w.touched_pages(), 0);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let mut w = world(1);
+        let p = ProcId::new(1);
+        let cost = w.msg(MsgKind::PageRequest, 16, p, p);
+        assert_eq!(cost, SimTime::ZERO);
+        assert_eq!(w.net.total_messages(), 0);
+        let cost = w.msg(MsgKind::PageRequest, 16, p, ProcId::new(2));
+        assert!(cost > SimTime::ZERO);
+        assert_eq!(w.net.total_messages(), 1);
+    }
+
+    #[test]
+    fn diff_store_round_trip() {
+        let mut store = DiffStore::default();
+        let twin = vec![0u8; adsm_mempage::PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        let diff = Diff::encode(&twin, &cur);
+        let id = IntervalId::new(ProcId::new(0), 1);
+        let wire = diff.wire_size() as u64;
+        store.insert(PageId::new(0), id, diff);
+        assert_eq!(store.bytes, wire);
+        assert!(store.get(PageId::new(0), id).is_some());
+        assert!(store.get(PageId::new(1), id).is_none());
+        let (n, b) = store.clear();
+        assert_eq!((n, b), (1, wire));
+        assert!(store.pages().is_empty());
+    }
+
+    #[test]
+    fn home_resolution_follows_policy_and_memoises() {
+        use crate::HomePolicy;
+        let page = PageId::new(5);
+        let faulter = ProcId::new(2);
+
+        let mut w = world(8);
+        w.cfg.home_policy = HomePolicy::RoundRobin;
+        assert_eq!(w.home_of(page, faulter), ProcId::new(5 % 4));
+
+        let mut w = world(8);
+        w.cfg.home_policy = HomePolicy::FirstTouch;
+        assert_eq!(w.home_of(page, faulter), faulter);
+        // Memoised: a different faulter does not move the home.
+        assert_eq!(w.home_of(page, ProcId::new(0)), faulter);
+
+        let mut w = world(8);
+        w.cfg.home_policy = HomePolicy::Fixed(7);
+        // Fixed homes wrap into the cluster.
+        assert_eq!(w.home_of(page, faulter), ProcId::new(7 % 4));
+    }
+
+    #[test]
+    fn sw_majority_counts_touched_pages_only() {
+        let mut w = world(2);
+        // Nothing touched: zero.
+        assert_eq!(w.sw_majority_pages(), 0);
+        w.touch(PageId::new(0));
+        // All procs default to SW mode.
+        assert_eq!(w.sw_majority_pages(), 1);
+        // Flip 3 of 4 procs to MW for page 0.
+        for p in 0..3 {
+            w.procs[p].pages[0].mode = PageMode::Mw;
+        }
+        assert_eq!(w.sw_majority_pages(), 0);
+    }
+}

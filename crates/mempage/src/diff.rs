@@ -1,0 +1,254 @@
+use std::fmt;
+
+use crate::{PAGE_SIZE, WORD_SIZE};
+
+const WORDS_PER_PAGE: usize = PAGE_SIZE / WORD_SIZE;
+
+/// Per-diff wire overhead: page id, interval id, run count (TreadMarks
+/// ships a small header with every diff).
+const DIFF_HEADER_BYTES: usize = 12;
+/// Per-run overhead: 16-bit word offset + 16-bit word count.
+const RUN_HEADER_BYTES: usize = 4;
+
+/// One maximal run of consecutive modified words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Run {
+    /// Word offset of the run within the page.
+    word_offset: u16,
+    /// The new bytes of the run (length is a multiple of [`WORD_SIZE`]).
+    data: Vec<u8>,
+}
+
+/// A run-length encoded record of the modifications made to one page,
+/// produced by comparing the page against its *twin* word by word —
+/// TreadMarks' diff representation.
+///
+/// Applying a diff overwrites exactly the words the diff records and
+/// leaves every other word untouched, which is what lets multiple
+/// concurrent writers of a falsely-shared page merge without losing each
+/// other's updates.
+///
+/// # Examples
+///
+/// ```
+/// use adsm_mempage::{Diff, PAGE_SIZE};
+///
+/// let twin = vec![1u8; PAGE_SIZE];
+/// let mut cur = twin.clone();
+/// cur[0] = 9;
+/// let d = Diff::encode(&twin, &cur);
+/// assert!(!d.is_empty());
+/// assert_eq!(d.modified_bytes(), 4); // word granularity
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<Run>,
+}
+
+impl Diff {
+    /// Compares `current` against `twin` word-by-word and records every
+    /// modified run.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both slices are exactly one page long.
+    pub fn encode(twin: &[u8], current: &[u8]) -> Self {
+        assert_eq!(twin.len(), PAGE_SIZE, "twin must be one page");
+        assert_eq!(current.len(), PAGE_SIZE, "page must be one page");
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < WORDS_PER_PAGE {
+            let off = w * WORD_SIZE;
+            if twin[off..off + WORD_SIZE] == current[off..off + WORD_SIZE] {
+                w += 1;
+                continue;
+            }
+            // Start of a modified run; extend while words differ.
+            let start = w;
+            while w < WORDS_PER_PAGE {
+                let o = w * WORD_SIZE;
+                if twin[o..o + WORD_SIZE] == current[o..o + WORD_SIZE] {
+                    break;
+                }
+                w += 1;
+            }
+            let byte_start = start * WORD_SIZE;
+            let byte_end = w * WORD_SIZE;
+            runs.push(Run {
+                word_offset: start as u16,
+                data: current[byte_start..byte_end].to_vec(),
+            });
+        }
+        Diff { runs }
+    }
+
+    /// Overwrites the recorded runs in `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page` is exactly one page long.
+    pub fn apply(&self, page: &mut [u8]) {
+        assert_eq!(page.len(), PAGE_SIZE, "target must be one page");
+        for run in &self.runs {
+            let start = run.word_offset as usize * WORD_SIZE;
+            page[start..start + run.data.len()].copy_from_slice(&run.data);
+        }
+    }
+
+    /// `true` when the twin and the page were identical.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of maximal modified runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total bytes of modified data (a multiple of the word size).
+    ///
+    /// This is the paper's *write granularity* measure for the page.
+    pub fn modified_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Bytes this diff occupies on the wire and in the diff store:
+    /// header + per-run headers + data.
+    pub fn wire_size(&self) -> usize {
+        DIFF_HEADER_BYTES + self.runs.len() * RUN_HEADER_BYTES + self.modified_bytes()
+    }
+
+    /// Do `self` and `other` modify at least one common word?
+    ///
+    /// Two *concurrent* diffs of the same page that do **not** overlap are
+    /// the signature of write-write false sharing; overlapping concurrent
+    /// diffs would be a data race in the application.
+    pub fn overlaps(&self, other: &Diff) -> bool {
+        // Runs are sorted by construction; merge-scan.
+        let mut a = self.runs.iter().peekable();
+        let mut b = other.runs.iter().peekable();
+        while let (Some(ra), Some(rb)) = (a.peek(), b.peek()) {
+            let a_start = ra.word_offset as usize;
+            let a_end = a_start + ra.data.len() / WORD_SIZE;
+            let b_start = rb.word_offset as usize;
+            let b_end = b_start + rb.data.len() / WORD_SIZE;
+            if a_end <= b_start {
+                a.next();
+            } else if b_end <= a_start {
+                b.next();
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Diff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "diff[{} runs, {} B data, {} B wire]",
+            self.run_count(),
+            self.modified_bytes(),
+            self.wire_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(vals: &[(usize, u8)]) -> Vec<u8> {
+        let mut p = vec![0u8; PAGE_SIZE];
+        for &(i, v) in vals {
+            p[i] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn identical_pages_produce_empty_diff() {
+        let twin = page_with(&[(5, 1)]);
+        let d = Diff::encode(&twin, &twin.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.modified_bytes(), 0);
+        assert_eq!(d.wire_size(), DIFF_HEADER_BYTES);
+    }
+
+    #[test]
+    fn single_byte_change_costs_one_word() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(9, 3)]);
+        let d = Diff::encode(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.modified_bytes(), WORD_SIZE);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce_into_one_run() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(0, 1), (4, 2), (8, 3)]);
+        let d = Diff::encode(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.modified_bytes(), 3 * WORD_SIZE);
+    }
+
+    #[test]
+    fn separated_words_form_separate_runs() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(0, 1), (100, 2)]);
+        let d = Diff::encode(&twin, &cur);
+        assert_eq!(d.run_count(), 2);
+    }
+
+    #[test]
+    fn apply_reproduces_current() {
+        let twin = page_with(&[(0, 7)]);
+        let cur = page_with(&[(0, 9), (4000, 5)]);
+        let d = Diff::encode(&twin, &cur);
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn apply_leaves_unmodified_words_alone() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(8, 1)]);
+        let d = Diff::encode(&twin, &cur);
+        // Apply onto a page with unrelated content; only word 2 changes.
+        let mut target = page_with(&[(100, 42)]);
+        d.apply(&mut target);
+        assert_eq!(target[100], 42);
+        assert_eq!(target[8], 1);
+    }
+
+    #[test]
+    fn full_page_diff_is_one_run() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let cur = vec![1u8; PAGE_SIZE];
+        let d = Diff::encode(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.modified_bytes(), PAGE_SIZE);
+        assert!(d.wire_size() > PAGE_SIZE);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let a = Diff::encode(&twin, &page_with(&[(0, 1)]));
+        let b = Diff::encode(&twin, &page_with(&[(2, 1)])); // same word 0
+        let c = Diff::encode(&twin, &page_with(&[(40, 1)]));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "twin must be one page")]
+    fn encode_rejects_short_twin() {
+        let _ = Diff::encode(&[0u8; 8], &[0u8; PAGE_SIZE]);
+    }
+}

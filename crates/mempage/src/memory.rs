@@ -1,0 +1,303 @@
+use std::fmt;
+
+use crate::{page_span, PageId, PAGE_SIZE};
+
+/// Software page protection, mirroring the rights an `mprotect`-based DSM
+/// would set on each page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum AccessRights {
+    /// Page is invalid; any access faults.
+    #[default]
+    None,
+    /// Page is read-only; writes fault (write trapping for twin creation
+    /// or ownership acquisition).
+    Read,
+    /// Page is fully accessible.
+    Write,
+}
+
+impl AccessRights {
+    /// Can the page be read under these rights?
+    pub fn readable(self) -> bool {
+        self != AccessRights::None
+    }
+
+    /// Can the page be written under these rights?
+    pub fn writable(self) -> bool {
+        self == AccessRights::Write
+    }
+}
+
+impl fmt::Display for AccessRights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessRights::None => "none",
+            AccessRights::Read => "ro",
+            AccessRights::Write => "rw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kind of a denied access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A load touched a page without read rights.
+    Read,
+    /// A store touched a page without write rights.
+    Write,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Read => f.write_str("read"),
+            FaultKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A denied access: the software analogue of SIGSEGV delivered by the MMU.
+///
+/// The protocol layer resolves the fault (fetching pages/diffs, acquiring
+/// ownership, twinning) and the access is retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageFault {
+    /// Page whose protection denied the access.
+    pub page: PageId,
+    /// Whether the denied access was a load or a store.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for PageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault on {}", self.kind, self.page)
+    }
+}
+
+impl std::error::Error for PageFault {}
+
+/// One processor's copy of the shared address space, with per-page
+/// software protection.
+///
+/// `PagedMemory` is purely mechanical: it checks rights and moves bytes.
+/// Which rights a page has at any moment is protocol policy and lives in
+/// `adsm-core`.
+///
+/// # Examples
+///
+/// ```
+/// use adsm_mempage::{AccessRights, FaultKind, PagedMemory, PageId};
+///
+/// let mut mem = PagedMemory::new(2);
+/// // Everything starts invalid: loads fault.
+/// assert_eq!(mem.try_read(0, 4).unwrap_err().kind, FaultKind::Read);
+///
+/// mem.set_rights(PageId::new(0), AccessRights::Write);
+/// mem.try_write(0, &7u32.to_le_bytes()).unwrap();
+/// let mut buf = [0u8; 4];
+/// mem.try_read(0, 4).map(|b| buf.copy_from_slice(b)).unwrap();
+/// assert_eq!(u32::from_le_bytes(buf), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PagedMemory {
+    bytes: Vec<u8>,
+    rights: Vec<AccessRights>,
+}
+
+impl PagedMemory {
+    /// Creates a zero-filled space of `npages` pages, all invalid.
+    pub fn new(npages: usize) -> Self {
+        PagedMemory {
+            bytes: vec![0; npages * PAGE_SIZE],
+            rights: vec![AccessRights::None; npages],
+        }
+    }
+
+    /// Number of pages in the space.
+    pub fn page_len(&self) -> usize {
+        self.rights.len()
+    }
+
+    /// Size of the space in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Current rights of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn rights(&self, page: PageId) -> AccessRights {
+        self.rights[page.index()]
+    }
+
+    /// Sets the rights of `page` (the software `mprotect`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_rights(&mut self, page: PageId, rights: AccessRights) {
+        self.rights[page.index()] = rights;
+    }
+
+    /// Checked load of `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PageFault`] if any touched page lacks read
+    /// rights; no bytes are returned in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the address space.
+    pub fn try_read(&self, addr: usize, len: usize) -> Result<&[u8], PageFault> {
+        self.check(addr, len, FaultKind::Read)?;
+        Ok(&self.bytes[addr..addr + len])
+    }
+
+    /// Checked store of `data` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PageFault`] if any touched page lacks write
+    /// rights; the store is not performed in that case (stores are
+    /// all-or-nothing at the API level, unlike hardware, so a fault can
+    /// never leave a half-written range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the address space.
+    pub fn try_write(&mut self, addr: usize, data: &[u8]) -> Result<(), PageFault> {
+        self.check(addr, data.len(), FaultKind::Write)?;
+        self.bytes[addr..addr + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// First page in `[addr, addr+len)` whose rights deny `kind`, if any.
+    pub fn first_fault(&self, addr: usize, len: usize, kind: FaultKind) -> Option<PageFault> {
+        self.check(addr, len, kind).err()
+    }
+
+    fn check(&self, addr: usize, len: usize, kind: FaultKind) -> Result<(), PageFault> {
+        assert!(
+            addr + len <= self.bytes.len(),
+            "access [{addr}, +{len}) beyond shared space of {} bytes",
+            self.bytes.len()
+        );
+        for page in page_span(addr, len) {
+            let ok = match kind {
+                FaultKind::Read => self.rights[page.index()].readable(),
+                FaultKind::Write => self.rights[page.index()].writable(),
+            };
+            if !ok {
+                return Err(PageFault { page, kind });
+            }
+        }
+        Ok(())
+    }
+
+    /// Unchecked view of one page (protocol-side use: serving remote
+    /// requests, twinning, diffing — the protocol bypasses protection just
+    /// like a kernel would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page(&self, page: PageId) -> &[u8] {
+        let base = page.base_addr();
+        &self.bytes[base..base + PAGE_SIZE]
+    }
+
+    /// Unchecked mutable view of one page (protocol-side use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_mut(&mut self, page: PageId) -> &mut [u8] {
+        let base = page.base_addr();
+        &mut self.bytes[base..base + PAGE_SIZE]
+    }
+
+    /// Replaces the contents of `page` (installing a fetched copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page or `page` is out of range.
+    pub fn install_page(&mut self, page: PageId, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE, "installed copy must be one page");
+        self.page_mut(page).copy_from_slice(data);
+    }
+
+    /// Unchecked read used by the protocol and by post-run collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the address space.
+    pub fn raw(&self, addr: usize, len: usize) -> &[u8] {
+        &self.bytes[addr..addr + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessRights as AR;
+
+    #[test]
+    fn fresh_memory_is_invalid() {
+        let mem = PagedMemory::new(3);
+        for i in 0..3 {
+            assert_eq!(mem.rights(PageId::new(i)), AR::None);
+        }
+        assert_eq!(mem.byte_len(), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn read_requires_read_rights() {
+        let mut mem = PagedMemory::new(1);
+        assert!(mem.try_read(0, 1).is_err());
+        mem.set_rights(PageId::new(0), AR::Read);
+        assert!(mem.try_read(0, 1).is_ok());
+    }
+
+    #[test]
+    fn write_requires_write_rights() {
+        let mut mem = PagedMemory::new(1);
+        mem.set_rights(PageId::new(0), AR::Read);
+        let fault = mem.try_write(0, &[1]).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Write);
+        assert_eq!(fault.page, PageId::new(0));
+        mem.set_rights(PageId::new(0), AR::Write);
+        assert!(mem.try_write(0, &[1]).is_ok());
+    }
+
+    #[test]
+    fn spanning_access_faults_on_first_bad_page() {
+        let mut mem = PagedMemory::new(2);
+        mem.set_rights(PageId::new(0), AR::Write);
+        // Page 1 still invalid: a write spanning both faults on page 1.
+        let fault = mem
+            .try_write(PAGE_SIZE - 2, &[1, 2, 3, 4])
+            .unwrap_err();
+        assert_eq!(fault.page, PageId::new(1));
+        // And nothing was written to page 0.
+        assert_eq!(mem.raw(PAGE_SIZE - 2, 2), &[0, 0]);
+    }
+
+    #[test]
+    fn install_page_replaces_contents() {
+        let mut mem = PagedMemory::new(1);
+        let data = vec![7u8; PAGE_SIZE];
+        mem.install_page(PageId::new(0), &data);
+        assert_eq!(mem.page(PageId::new(0)), &data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond shared space")]
+    fn out_of_range_access_panics() {
+        let mem = PagedMemory::new(1);
+        let _ = mem.try_read(PAGE_SIZE - 1, 2);
+    }
+}

@@ -1,0 +1,95 @@
+/// Plain-old-data element types that can live in the simulated shared
+/// address space.
+///
+/// Values are stored little-endian, independent of the host, so that the
+/// byte-level diffing machinery sees a stable representation. The trait is
+/// sealed: the DSM only supports the primitive numeric types below, which
+/// is what the paper's applications use.
+///
+/// # Examples
+///
+/// ```
+/// use adsm_mempage::Pod;
+///
+/// let mut buf = [0u8; 8];
+/// 1.5f64.store_le(&mut buf);
+/// assert_eq!(f64::load_le(&buf), 1.5);
+/// assert_eq!(<f64 as Pod>::SIZE, 8);
+/// ```
+pub trait Pod: Copy + Default + private::Sealed + 'static {
+    /// Size of the element in bytes.
+    const SIZE: usize;
+
+    /// Writes the little-endian representation into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`Pod::SIZE`].
+    fn store_le(self, buf: &mut [u8]);
+
+    /// Reads a value from the little-endian representation in `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`Pod::SIZE`].
+    fn load_le(buf: &[u8]) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(
+            impl private::Sealed for $t {}
+            impl Pod for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+
+                fn store_le(self, buf: &mut [u8]) {
+                    buf[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+                }
+
+                fn load_le(buf: &[u8]) -> Self {
+                    let mut raw = [0u8; std::mem::size_of::<$t>()];
+                    raw.copy_from_slice(&buf[..Self::SIZE]);
+                    <$t>::from_le_bytes(raw)
+                }
+            }
+        )*
+    };
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Pod + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.store_le(&mut buf);
+        assert_eq!(T::load_le(&buf), v);
+    }
+
+    #[test]
+    fn round_trips_all_types() {
+        round_trip(0xABu8);
+        round_trip(-5i8);
+        round_trip(0xBEEFu16);
+        round_trip(-12345i16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(-7i32);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(3.25f32);
+        round_trip(-1.0e300f64);
+    }
+
+    #[test]
+    fn representation_is_little_endian() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.store_le(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

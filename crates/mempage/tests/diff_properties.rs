@@ -1,0 +1,106 @@
+//! Property-based tests of the twin/diff machinery.
+
+use adsm_mempage::{Diff, PAGE_SIZE, WORD_SIZE};
+use proptest::prelude::*;
+
+/// A page described as a sparse set of byte edits over a base value.
+fn page_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (
+        any::<u8>(),
+        prop::collection::vec((0usize..PAGE_SIZE, any::<u8>()), 0..64),
+    )
+        .prop_map(|(base, edits)| {
+            let mut page = vec![base; PAGE_SIZE];
+            for (i, v) in edits {
+                page[i] = v;
+            }
+            page
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// apply(encode(twin, cur), twin) == cur — the fundamental round trip.
+    #[test]
+    fn encode_apply_round_trip(twin in page_strategy(), cur in page_strategy()) {
+        let diff = Diff::encode(&twin, &cur);
+        let mut target = twin.clone();
+        diff.apply(&mut target);
+        prop_assert_eq!(target, cur);
+    }
+
+    /// Encoding a page against itself is empty, and applying an empty diff
+    /// is the identity.
+    #[test]
+    fn self_diff_is_identity(page in page_strategy(), other in page_strategy()) {
+        let diff = Diff::encode(&page, &page);
+        prop_assert!(diff.is_empty());
+        let mut target = other.clone();
+        diff.apply(&mut target);
+        prop_assert_eq!(target, other);
+    }
+
+    /// Words outside the diff are never touched by apply().
+    #[test]
+    fn apply_touches_only_modified_words(
+        twin in page_strategy(),
+        cur in page_strategy(),
+        canvas in page_strategy(),
+    ) {
+        let diff = Diff::encode(&twin, &cur);
+        let mut target = canvas.clone();
+        diff.apply(&mut target);
+        for w in 0..(PAGE_SIZE / WORD_SIZE) {
+            let r = w * WORD_SIZE..(w + 1) * WORD_SIZE;
+            if twin[r.clone()] == cur[r.clone()] {
+                prop_assert_eq!(&target[r.clone()], &canvas[r.clone()],
+                    "untouched word {} was modified", w);
+            } else {
+                prop_assert_eq!(&target[r.clone()], &cur[r.clone()],
+                    "modified word {} not applied", w);
+            }
+        }
+    }
+
+    /// Diff size accounting: modified_bytes is word-aligned, bounded by the
+    /// page size, and wire_size is consistent with it.
+    #[test]
+    fn size_accounting(twin in page_strategy(), cur in page_strategy()) {
+        let diff = Diff::encode(&twin, &cur);
+        prop_assert_eq!(diff.modified_bytes() % WORD_SIZE, 0);
+        prop_assert!(diff.modified_bytes() <= PAGE_SIZE);
+        prop_assert!(diff.wire_size() >= diff.modified_bytes());
+        prop_assert!(diff.run_count() <= diff.modified_bytes() / WORD_SIZE + 1);
+    }
+
+    /// Applying two diffs with disjoint word sets commutes.
+    #[test]
+    fn disjoint_diffs_commute(
+        base in page_strategy(),
+        edits_a in prop::collection::vec((0usize..512, any::<u8>()), 1..32),
+        edits_b in prop::collection::vec((512usize..1024, any::<u8>()), 1..32),
+    ) {
+        // Builds two diffs over disjoint word ranges (words 0..128 and 128..256).
+        let mut pa = base.clone();
+        for &(w, v) in &edits_a {
+            pa[w * WORD_SIZE % 512] = v;
+        }
+        let mut pb = base.clone();
+        for &(w, v) in &edits_b {
+            let off = 512 + (w - 512) % 512;
+            pb[off] = v;
+        }
+        let da = Diff::encode(&base, &pa);
+        let db = Diff::encode(&base, &pb);
+        prop_assert!(!da.overlaps(&db));
+
+        let mut ab = base.clone();
+        da.apply(&mut ab);
+        db.apply(&mut ab);
+        let mut ba = base.clone();
+        db.apply(&mut ba);
+        da.apply(&mut ba);
+        prop_assert_eq!(ab, ba);
+    }
+}

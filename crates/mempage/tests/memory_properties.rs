@@ -1,0 +1,145 @@
+//! Property tests of the software MMU: fault-before-effect semantics,
+//! lowest-faulting-page reporting, and page-boundary behaviour — the
+//! invariants the protocols rely on when a single bulk access spans
+//! pages with mixed rights.
+
+use adsm_mempage::{AccessRights, FaultKind, PagedMemory, PageId, PAGE_SIZE};
+use proptest::prelude::*;
+
+const NPAGES: usize = 4;
+
+fn rights_strategy() -> impl Strategy<Value = Vec<AccessRights>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(AccessRights::None),
+            Just(AccessRights::Read),
+            Just(AccessRights::Write),
+        ],
+        NPAGES,
+    )
+}
+
+fn span_strategy() -> impl Strategy<Value = (usize, usize)> {
+    // Arbitrary [addr, addr+len) within the space, len >= 1.
+    (0usize..NPAGES * PAGE_SIZE - 1).prop_flat_map(|addr| {
+        (Just(addr), 1usize..=(NPAGES * PAGE_SIZE - addr))
+    })
+}
+
+fn memory_with(rights: &[AccessRights]) -> PagedMemory {
+    let mut mem = PagedMemory::new(NPAGES);
+    for (i, &r) in rights.iter().enumerate() {
+        mem.set_rights(PageId::new(i), r);
+    }
+    mem
+}
+
+fn pages_of(addr: usize, len: usize) -> impl Iterator<Item = usize> {
+    let first = addr / PAGE_SIZE;
+    let last = (addr + len - 1) / PAGE_SIZE;
+    first..=last
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A read succeeds iff every touched page is readable, and the fault
+    /// (when any) names the lowest-indexed denying page.
+    #[test]
+    fn read_faults_name_the_first_denying_page(
+        rights in rights_strategy(),
+        (addr, len) in span_strategy(),
+    ) {
+        let mem = memory_with(&rights);
+        let denied: Vec<usize> = pages_of(addr, len)
+            .filter(|&pg| !rights[pg].readable())
+            .collect();
+        match mem.try_read(addr, len) {
+            Ok(bytes) => {
+                prop_assert!(denied.is_empty());
+                prop_assert_eq!(bytes.len(), len);
+            }
+            Err(fault) => {
+                prop_assert_eq!(fault.kind, FaultKind::Read);
+                prop_assert_eq!(fault.page.index(), denied[0]);
+            }
+        }
+    }
+
+    /// A faulting write is all-or-nothing: no byte of the target range
+    /// changes, even for the pages that *were* writable.
+    #[test]
+    fn faulting_writes_leave_memory_untouched(
+        rights in rights_strategy(),
+        (addr, len) in span_strategy(),
+        fill in any::<u8>(),
+    ) {
+        let mut mem = memory_with(&rights);
+        let before: Vec<u8> = mem.raw(0, NPAGES * PAGE_SIZE).to_vec();
+        let data = vec![fill.wrapping_add(1); len];
+        let denied: Vec<usize> = pages_of(addr, len)
+            .filter(|&pg| !rights[pg].writable())
+            .collect();
+        match mem.try_write(addr, &data) {
+            Ok(()) => {
+                prop_assert!(denied.is_empty());
+                prop_assert_eq!(mem.raw(addr, len), &data[..]);
+                // Bytes outside the range are untouched.
+                prop_assert_eq!(mem.raw(0, addr), &before[..addr]);
+            }
+            Err(fault) => {
+                prop_assert_eq!(fault.kind, FaultKind::Write);
+                prop_assert_eq!(fault.page.index(), denied[0]);
+                prop_assert_eq!(mem.raw(0, NPAGES * PAGE_SIZE), &before[..]);
+            }
+        }
+    }
+
+    /// `first_fault` agrees with `try_read`/`try_write` without touching
+    /// anything.
+    #[test]
+    fn first_fault_predicts_the_checked_ops(
+        rights in rights_strategy(),
+        (addr, len) in span_strategy(),
+    ) {
+        let mut mem = memory_with(&rights);
+        let rf = mem.first_fault(addr, len, FaultKind::Read);
+        prop_assert_eq!(rf, mem.try_read(addr, len).err());
+        let wf = mem.first_fault(addr, len, FaultKind::Write);
+        let data = vec![0u8; len];
+        prop_assert_eq!(wf, mem.try_write(addr, &data).err());
+    }
+
+    /// Installing a page replaces exactly that page.
+    #[test]
+    fn install_replaces_one_page_only(
+        page in 0usize..NPAGES,
+        fill in 1u8..,
+    ) {
+        let mut mem = PagedMemory::new(NPAGES);
+        mem.install_page(PageId::new(page), &vec![fill; PAGE_SIZE]);
+        for pg in 0..NPAGES {
+            let expect = if pg == page { fill } else { 0 };
+            prop_assert!(
+                mem.page(PageId::new(pg)).iter().all(|&b| b == expect),
+                "page {} corrupted", pg
+            );
+        }
+        // Install does not change rights.
+        prop_assert_eq!(mem.rights(PageId::new(page)), AccessRights::None);
+    }
+
+    /// Write rights imply read rights (the protocols upgrade Read ->
+    /// Write and rely on readability never being lost by the upgrade).
+    #[test]
+    fn writable_pages_are_readable(
+        rights in rights_strategy(),
+        (addr, len) in span_strategy(),
+    ) {
+        let mut mem = memory_with(&rights);
+        let data = vec![7u8; len];
+        if mem.try_write(addr, &data).is_ok() {
+            prop_assert!(mem.try_read(addr, len).is_ok());
+        }
+    }
+}

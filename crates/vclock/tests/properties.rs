@@ -1,0 +1,162 @@
+//! Property-based tests for the happened-before-1 machinery.
+
+use adsm_vclock::{CausalOrder, Interval, IntervalId, ProcId, VectorClock};
+use proptest::prelude::*;
+
+const NPROCS: usize = 4;
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..16, NPROCS).prop_map(|slots| {
+        let mut vc = VectorClock::new(NPROCS);
+        for (i, s) in slots.into_iter().enumerate() {
+            vc.set(ProcId::new(i), s);
+        }
+        vc
+    })
+}
+
+proptest! {
+    /// Merging is commutative: merge(a, b) == merge(b, a).
+    #[test]
+    fn merge_commutative(a in clock_strategy(), b in clock_strategy()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is idempotent and produces a dominator of both inputs.
+    #[test]
+    fn merge_dominates_inputs(a in clock_strategy(), b in clock_strategy()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+        let mut again = m.clone();
+        again.merge(&b);
+        prop_assert_eq!(again, m);
+    }
+
+    /// Domination is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn domination_partial_order(
+        a in clock_strategy(),
+        b in clock_strategy(),
+        c in clock_strategy(),
+    ) {
+        prop_assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    /// causal_cmp is antisymmetric: Before one way means After the other.
+    #[test]
+    fn causal_cmp_antisymmetric(a in clock_strategy(), b in clock_strategy()) {
+        let expected = match a.causal_cmp(&b) {
+            CausalOrder::Equal => CausalOrder::Equal,
+            CausalOrder::Before => CausalOrder::After,
+            CausalOrder::After => CausalOrder::Before,
+            CausalOrder::Concurrent => CausalOrder::Concurrent,
+        };
+        prop_assert_eq!(b.causal_cmp(&a), expected);
+    }
+
+    /// Ticking makes the new clock strictly dominate the old one.
+    #[test]
+    fn tick_strictly_advances(a in clock_strategy(), idx in 0usize..NPROCS) {
+        let mut ticked = a.clone();
+        ticked.tick(ProcId::new(idx));
+        prop_assert_eq!(a.causal_cmp(&ticked), CausalOrder::Before);
+    }
+
+    /// covers() agrees with a literal reading of the clock entry.
+    #[test]
+    fn covers_matches_entries(a in clock_strategy(), idx in 0usize..NPROCS, seq in 1u32..32) {
+        let id = IntervalId::new(ProcId::new(idx), seq);
+        prop_assert_eq!(a.covers(id), a.get(ProcId::new(idx)) >= seq);
+    }
+}
+
+/// One step of a random-but-valid execution: processor `p` either closes
+/// an interval (tick) or acquires from processor `q` (merge).
+#[derive(Clone, Debug)]
+enum Step {
+    Close(usize),
+    Acquire { p: usize, from: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..NPROCS).prop_map(Step::Close),
+        (0usize..NPROCS, 0usize..NPROCS)
+            .prop_map(|(p, from)| Step::Acquire { p, from }),
+    ]
+}
+
+/// Replay an execution and collect every interval it closes. Intervals
+/// produced this way satisfy the axioms of a real LRC history (no causal
+/// cycles), unlike intervals built from arbitrary clocks.
+fn replay(steps: &[Step]) -> Vec<Interval> {
+    let mut clocks: Vec<VectorClock> = (0..NPROCS).map(|_| VectorClock::new(NPROCS)).collect();
+    let mut intervals = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Close(p) => {
+                let proc = ProcId::new(p);
+                let seq = clocks[p].tick(proc);
+                intervals.push(Interval::new(IntervalId::new(proc, seq), clocks[p].clone()));
+            }
+            Step::Acquire { p, from } => {
+                if p != from {
+                    let src = clocks[from].clone();
+                    clocks[p].merge(&src);
+                }
+            }
+        }
+    }
+    intervals
+}
+
+proptest! {
+    /// For intervals drawn from a valid execution, exactly one of
+    /// {a<b, b<a, concurrent, same-id} holds.
+    #[test]
+    fn interval_trichotomy(steps in prop::collection::vec(step_strategy(), 1..64)) {
+        let intervals = replay(&steps);
+        for a in &intervals {
+            for b in &intervals {
+                let cases = [
+                    a.happened_before(b),
+                    b.happened_before(a),
+                    a.concurrent_with(b),
+                    a.id() == b.id(),
+                ];
+                prop_assert_eq!(cases.iter().filter(|&&x| x).count(), 1,
+                    "a={} b={}", a, b);
+            }
+        }
+    }
+
+    /// happened-before over a valid execution is transitive.
+    #[test]
+    fn interval_hb_transitive(steps in prop::collection::vec(step_strategy(), 1..48)) {
+        let intervals = replay(&steps);
+        for a in &intervals {
+            for b in &intervals {
+                if !a.happened_before(b) {
+                    continue;
+                }
+                for c in &intervals {
+                    if b.happened_before(c) {
+                        prop_assert!(a.happened_before(c), "a={} b={} c={}", a, b, c);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Head-to-head protocol comparison on one of the paper's applications.
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison [app] [nprocs]
+//! ```
+//!
+//! Runs the chosen application (default IS — NAS integer sort, the
+//! paper's clearest SW-friendly workload) under all four protocols and
+//! prints a miniature of the paper's Figure 2 / Table 4 rows.
+
+use adsm::{run_app, sequential_time, App, ProtocolKind, Scale};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app = args
+        .next()
+        .map(|name| {
+            App::ALL
+                .iter()
+                .copied()
+                .find(|a| a.name().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown app {name}; try SOR, IS, TSP, Water, ..."))
+        })
+        .unwrap_or(App::Is);
+    let nprocs: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    println!("{app} on {nprocs} simulated processors (small scale)");
+    let seq = sequential_time(app, Scale::Small);
+    println!("sequential time: {seq}\n");
+    println!(
+        "{:<8} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "proto", "speedup", "msgs", "data MB", "own-req", "twins", "diffs"
+    );
+    for proto in ProtocolKind::EVALUATED {
+        let run = run_app(app, proto, nprocs, Scale::Small);
+        assert!(run.ok, "{proto} failed verification: {}", run.detail);
+        let r = &run.outcome.report;
+        println!(
+            "{:<8} {:>9.2} {:>10} {:>10.2} {:>10} {:>9} {:>9}",
+            proto.name(),
+            r.speedup(seq),
+            r.net.total_messages(),
+            r.net.total_bytes() as f64 / 1e6,
+            r.net.ownership_requests(),
+            r.proto.twins_created,
+            r.proto.diffs_created,
+        );
+    }
+    println!(
+        "\nEvery run is verified against the app's sequential reference before\n\
+         being reported. See `repro fig2` for the full 8-application matrix."
+    );
+}

@@ -1,0 +1,71 @@
+//! Integration: every application verifies against its sequential
+//! reference under every protocol, on an odd processor count (uneven
+//! bands — different code paths from the in-crate 4-processor tests).
+
+use adsm::{run_app, App, ProtocolKind, Scale};
+
+fn check(app: App, nprocs: usize) {
+    for protocol in ProtocolKind::EVALUATED {
+        let run = run_app(app, protocol, nprocs, Scale::Tiny);
+        assert!(run.ok, "{app} under {protocol} x{nprocs}: {}", run.detail);
+        assert!(run.outcome.report.net.total_messages() > 0);
+    }
+}
+
+#[test]
+fn sor_on_three_procs() {
+    check(App::Sor, 3);
+}
+
+#[test]
+fn is_on_three_procs() {
+    check(App::Is, 3);
+}
+
+#[test]
+fn fft_on_two_procs() {
+    // FFT bands need nprocs to divide n=8 at tiny scale.
+    check(App::Fft3d, 2);
+}
+
+#[test]
+fn tsp_on_three_procs() {
+    check(App::Tsp, 3);
+}
+
+#[test]
+fn water_on_three_procs() {
+    check(App::Water, 3);
+}
+
+#[test]
+fn shallow_on_three_procs() {
+    check(App::Shallow, 3);
+}
+
+#[test]
+fn barnes_on_three_procs() {
+    check(App::Barnes, 3);
+}
+
+#[test]
+fn ilink_on_three_procs() {
+    check(App::Ilink, 3);
+}
+
+#[test]
+fn every_app_single_proc_degenerates_cleanly() {
+    // One processor: protocols should all behave like local execution
+    // (no cross-processor traffic beyond nothing; correctness holds).
+    for app in App::ALL {
+        for protocol in [ProtocolKind::Mw, ProtocolKind::Wfs] {
+            let run = run_app(app, protocol, 1, Scale::Tiny);
+            assert!(run.ok, "{app} under {protocol} x1: {}", run.detail);
+            assert_eq!(
+                run.outcome.report.net.total_messages(),
+                0,
+                "{app}: single-processor runs must not send messages"
+            );
+        }
+    }
+}

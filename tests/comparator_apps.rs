@@ -1,0 +1,116 @@
+//! Integration: every application verifies against its sequential
+//! reference under the two related-work comparator protocols (SC and
+//! HLRC), including every HLRC home-placement policy. These runs are the
+//! correctness backing for the §7-positioning measurements of
+//! `repro related`.
+
+use adsm::{run_app, run_app_tuned, App, HomePolicy, ProtocolKind, RunOptions, Scale};
+
+#[test]
+fn every_app_is_correct_under_sc() {
+    for app in App::ALL {
+        // FFT bands need nprocs | n at tiny scale; 2 divides everything.
+        let nprocs = if app == App::Fft3d { 2 } else { 3 };
+        let run = run_app(app, ProtocolKind::Sc, nprocs, Scale::Tiny);
+        assert!(run.ok, "{app} under SC x{nprocs}: {}", run.detail);
+        assert_eq!(run.outcome.report.proto.twins_created, 0, "{app}: SC twins");
+        assert_eq!(run.outcome.report.proto.diffs_created, 0, "{app}: SC diffs");
+    }
+}
+
+#[test]
+fn every_app_is_correct_under_hlrc_round_robin() {
+    for app in App::ALL {
+        let nprocs = if app == App::Fft3d { 2 } else { 3 };
+        let run = run_app(app, ProtocolKind::Hlrc, nprocs, Scale::Tiny);
+        assert!(run.ok, "{app} under HLRC x{nprocs}: {}", run.detail);
+        let r = &run.outcome.report;
+        assert_eq!(r.proto.diffs_alive, 0, "{app}: HLRC must not store diffs");
+        assert_eq!(r.proto.gc_runs, 0, "{app}: HLRC never garbage-collects");
+    }
+}
+
+#[test]
+fn every_app_is_correct_under_hlrc_all_policies() {
+    for policy in [
+        HomePolicy::RoundRobin,
+        HomePolicy::FirstTouch,
+        HomePolicy::Fixed(0),
+        HomePolicy::Fixed(2),
+    ] {
+        let opts = RunOptions {
+            home_policy: policy,
+            ..RunOptions::default()
+        };
+        for app in [App::Sor, App::Is, App::Tsp, App::Ilink] {
+            let run = run_app_tuned(app, ProtocolKind::Hlrc, 3, Scale::Tiny, &opts);
+            assert!(run.ok, "{app} under HLRC/{policy}: {}", run.detail);
+        }
+    }
+}
+
+#[test]
+fn comparators_degenerate_cleanly_on_one_processor() {
+    for protocol in ProtocolKind::COMPARATORS {
+        for app in [App::Sor, App::Is] {
+            let run = run_app(app, protocol, 1, Scale::Tiny);
+            assert!(run.ok, "{app} under {protocol} x1: {}", run.detail);
+            assert_eq!(
+                run.outcome.report.net.total_messages(),
+                0,
+                "{app} under {protocol}: single-processor runs must not send messages"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_app_is_correct_under_lazy_mw_diffing() {
+    let opts = RunOptions {
+        diff_strategy: adsm::DiffStrategy::Lazy,
+        ..RunOptions::default()
+    };
+    for app in App::ALL {
+        let nprocs = if app == App::Fft3d { 2 } else { 3 };
+        let lazy = run_app_tuned(app, ProtocolKind::Mw, nprocs, Scale::Tiny, &opts);
+        assert!(lazy.ok, "{app} under lazy MW: {}", lazy.detail);
+        let eager = run_app(app, ProtocolKind::Mw, nprocs, Scale::Tiny);
+        assert!(
+            lazy.outcome.report.proto.diffs_created
+                <= eager.outcome.report.proto.diffs_created,
+            "{app}: lazy must never create more diffs than eager ({} vs {})",
+            lazy.outcome.report.proto.diffs_created,
+            eager.outcome.report.proto.diffs_created
+        );
+    }
+}
+
+#[test]
+fn migratory_optimisation_keeps_apps_correct_and_helps_is() {
+    // IS is the paper's migratory application (bucket pages passed under
+    // locks): the §7 optimisation should remove ownership exchanges.
+    let base = run_app(App::Is, ProtocolKind::Wfs, 4, Scale::Tiny);
+    let opts = RunOptions {
+        migratory_opt: true,
+        ..RunOptions::default()
+    };
+    let tuned = run_app_tuned(App::Is, ProtocolKind::Wfs, 4, Scale::Tiny, &opts);
+    assert!(base.ok, "{}", base.detail);
+    assert!(tuned.ok, "{}", tuned.detail);
+    assert!(
+        tuned.outcome.report.proto.migratory_grants > 0,
+        "IS should trigger migratory grants"
+    );
+    assert!(
+        tuned.outcome.report.net.ownership_requests()
+            <= base.outcome.report.net.ownership_requests(),
+        "migration on read miss must not add ownership requests ({} vs {})",
+        tuned.outcome.report.net.ownership_requests(),
+        base.outcome.report.net.ownership_requests()
+    );
+    // The other apps stay correct with the optimisation enabled.
+    for app in [App::Sor, App::Water, App::Barnes] {
+        let run = run_app_tuned(app, ProtocolKind::Wfs, 3, Scale::Tiny, &opts);
+        assert!(run.ok, "{app} with migratory opt: {}", run.detail);
+    }
+}

@@ -1,0 +1,214 @@
+//! Integration: cross-protocol metric invariants — the quantitative
+//! claims of the paper's §6 that must hold at any scale.
+
+use adsm::apps::kernels::{false_sharing, migratory, producer_consumer, KernelParams};
+use adsm::{run_app, App, MsgKind, ProtocolKind, Scale};
+
+const PARAMS: KernelParams = KernelParams {
+    iters: 6,
+    nprocs: 4,
+    ns_per_elem: 200,
+};
+
+#[test]
+fn sw_uses_no_twin_or_diff_memory_anywhere() {
+    for app in [App::Sor, App::Is, App::Water] {
+        let run = run_app(app, ProtocolKind::Sw, 4, Scale::Tiny);
+        assert!(run.ok);
+        assert_eq!(run.outcome.report.proto.storage_bytes_created(), 0);
+        assert_eq!(run.outcome.report.proto.twins_created, 0);
+        assert_eq!(run.outcome.report.proto.diffs_created, 0);
+    }
+}
+
+#[test]
+fn adaptive_memory_never_exceeds_mw_on_unshared_apps() {
+    // §6.2: "For applications that have no write-write false sharing
+    // (SOR and IS), the WFS protocol does not create any twins or
+    // diffs"; WFS+WG uses more than WFS but less than MW.
+    for app in [App::Sor, App::Is] {
+        let mw = run_app(app, ProtocolKind::Mw, 4, Scale::Tiny);
+        let wfs = run_app(app, ProtocolKind::Wfs, 4, Scale::Tiny);
+        let wg = run_app(app, ProtocolKind::WfsWg, 4, Scale::Tiny);
+        let m = mw.outcome.report.proto.storage_bytes_created();
+        let f = wfs.outcome.report.proto.storage_bytes_created();
+        let g = wg.outcome.report.proto.storage_bytes_created();
+        assert_eq!(f, 0, "{app}: WFS must not twin or diff without false sharing");
+        assert!(g <= m, "{app}: WFS+WG ({g}) must not exceed MW ({m})");
+    }
+}
+
+#[test]
+fn wfs_memory_below_mw_even_with_false_sharing() {
+    // §6.2: adaptive memory is lower than MW even for ILINK/Barnes
+    // (high false sharing), just less dramatically.
+    for app in [App::Shallow, App::Ilink] {
+        let mw = run_app(app, ProtocolKind::Mw, 4, Scale::Tiny);
+        let wfs = run_app(app, ProtocolKind::Wfs, 4, Scale::Tiny);
+        assert!(
+            wfs.outcome.report.proto.storage_bytes_created()
+                <= mw.outcome.report.proto.storage_bytes_created(),
+            "{app}: WFS memory must not exceed MW"
+        );
+    }
+}
+
+#[test]
+fn sw_ping_pong_dominates_traffic_under_false_sharing() {
+    // §6.3: "The SW protocol sends the largest number of messages and
+    // the largest amount of data" — dramatic under false sharing.
+    let sw = false_sharing(ProtocolKind::Sw, PARAMS).report;
+    let mw = false_sharing(ProtocolKind::Mw, PARAMS).report;
+    let wfs = false_sharing(ProtocolKind::Wfs, PARAMS).report;
+    assert!(sw.net.total_bytes() > 3 * mw.net.total_bytes());
+    assert!(sw.net.total_bytes() > 3 * wfs.net.total_bytes());
+    assert!(sw.net.total_messages() > wfs.net.total_messages());
+}
+
+#[test]
+fn wfs_tracks_the_winner_on_each_kernel() {
+    // Producer-consumer and migratory: WFS should not diff at all (the
+    // SW advantage); false sharing: WFS must refuse and adapt (the MW
+    // advantage).
+    let pc = producer_consumer(ProtocolKind::Wfs, PARAMS).report;
+    assert_eq!(pc.proto.diffs_created, 0);
+    let mig = migratory(ProtocolKind::Wfs, PARAMS).report;
+    assert_eq!(mig.proto.diffs_created, 0);
+    assert!(mig.proto.ownership_grants > 0);
+    let fs = false_sharing(ProtocolKind::Wfs, PARAMS).report;
+    assert!(fs.proto.ownership_refusals > 0);
+    assert!(fs.proto.diffs_created > 0);
+}
+
+#[test]
+fn full_app_runs_are_deterministic() {
+    for protocol in [ProtocolKind::Wfs, ProtocolKind::WfsWg] {
+        let a = run_app(App::Shallow, protocol, 4, Scale::Tiny);
+        let b = run_app(App::Shallow, protocol, 4, Scale::Tiny);
+        assert_eq!(a.outcome.report.time, b.outcome.report.time);
+        assert_eq!(
+            a.outcome.report.net.total_messages(),
+            b.outcome.report.net.total_messages()
+        );
+        assert_eq!(a.outcome.report.proto, b.outcome.report.proto);
+    }
+}
+
+#[test]
+fn mw_never_requests_ownership_and_sw_never_refuses() {
+    let mw = false_sharing(ProtocolKind::Mw, PARAMS).report;
+    assert_eq!(mw.net.ownership_requests(), 0);
+    assert_eq!(mw.proto.ownership_refusals, 0);
+    let sw = false_sharing(ProtocolKind::Sw, PARAMS).report;
+    assert_eq!(sw.proto.ownership_refusals, 0, "plain SW always grants");
+}
+
+#[test]
+fn request_reply_message_conservation() {
+    // Every page request is answered by exactly one page reply, and every
+    // diff request by one diff reply, under every protocol: protocol
+    // messages can never be silently dropped or double-counted.
+    let protocols = [
+        ProtocolKind::Mw,
+        ProtocolKind::Sw,
+        ProtocolKind::Wfs,
+        ProtocolKind::WfsWg,
+        ProtocolKind::Sc,
+        ProtocolKind::Hlrc,
+    ];
+    for protocol in protocols {
+        for app in [App::Is, App::Shallow] {
+            let run = run_app(app, protocol, 4, Scale::Tiny);
+            assert!(run.ok, "{app}/{protocol}: {}", run.detail);
+            let net = &run.outcome.report.net;
+            if protocol == ProtocolKind::Sc {
+                // SC routes page requests through a manager: when the
+                // faulting processor manages the page itself the request
+                // is a free local call but the owner's reply still
+                // travels, so replies may outnumber requests.
+                assert!(
+                    net.messages(MsgKind::PageReply) >= net.messages(MsgKind::PageRequest),
+                    "{app}/{protocol}: replies below requests"
+                );
+            } else {
+                assert_eq!(
+                    net.messages(MsgKind::PageRequest),
+                    net.messages(MsgKind::PageReply),
+                    "{app}/{protocol}: page request/reply imbalance"
+                );
+            }
+            assert_eq!(
+                net.messages(MsgKind::DiffRequest),
+                net.messages(MsgKind::DiffReply),
+                "{app}/{protocol}: diff request/reply imbalance"
+            );
+            assert_eq!(
+                net.messages(MsgKind::Invalidation),
+                net.messages(MsgKind::InvalidationAck),
+                "{app}/{protocol}: invalidation/ack imbalance"
+            );
+        }
+    }
+}
+
+#[test]
+fn storage_accounting_balances_at_run_end() {
+    // Twins never outlive their interval (the close encodes the diff and
+    // drops the twin), so twin-alive counters must read zero at the end
+    // of every run; protocols that never store diffs must end with zero
+    // diff bytes alive as well.
+    let protocols = [
+        ProtocolKind::Mw,
+        ProtocolKind::Sw,
+        ProtocolKind::Wfs,
+        ProtocolKind::WfsWg,
+        ProtocolKind::Sc,
+        ProtocolKind::Hlrc,
+    ];
+    for protocol in protocols {
+        let run = run_app(App::Water, protocol, 4, Scale::Tiny);
+        assert!(run.ok, "{protocol}: {}", run.detail);
+        let proto = &run.outcome.report.proto;
+        assert_eq!(proto.twins_alive, 0, "{protocol}: leaked twins");
+        assert_eq!(proto.twin_bytes_alive, 0, "{protocol}: leaked twin bytes");
+        if matches!(
+            protocol,
+            ProtocolKind::Sw | ProtocolKind::Sc | ProtocolKind::Hlrc
+        ) {
+            assert_eq!(proto.diffs_alive, 0, "{protocol}: stored diffs");
+        }
+        // Peak storage can never exceed what was ever created.
+        assert!(proto.peak_storage_bytes <= proto.storage_bytes_created());
+    }
+}
+
+#[test]
+fn hlrc_flush_accounting_matches_traffic() {
+    // Every off-home flush is one DiffFlush message; flushes where the
+    // writer is the home are free and unrecorded.
+    let run = run_app(App::Shallow, ProtocolKind::Hlrc, 4, Scale::Tiny);
+    assert!(run.ok, "{}", run.detail);
+    let r = &run.outcome.report;
+    assert!(
+        r.proto.home_flushes >= r.net.messages(MsgKind::DiffFlush),
+        "flush counter ({}) below flush messages ({})",
+        r.proto.home_flushes,
+        r.net.messages(MsgKind::DiffFlush)
+    );
+    assert!(r.proto.home_flushes > 0, "banded writers must flush");
+}
+
+#[test]
+fn quantum_bounds_sw_ownership_migration_rate() {
+    // §2.3: a new owner holds the page for at least 1 ms. With 4
+    // processors hammering one page, ownership can change hands at most
+    // ~time/quantum times.
+    let run = false_sharing(ProtocolKind::Sw, PARAMS);
+    let r = &run.report;
+    let grants = r.proto.ownership_grants as u128;
+    let quantum_windows = r.time.as_ns() as u128 / 1_000_000u128; // 1 ms
+    assert!(
+        grants <= quantum_windows + 8,
+        "grants {grants} exceed quantum windows {quantum_windows}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Schedule-fuzzing robustness: real applications must verify against
+//! their sequential references under arbitrary (seeded) engine
+//! schedules, for every protocol. A fuzzed schedule is still a causally
+//! valid execution — blocking and wake-ups are honoured — so the only
+//! thing that may change is *which* interleaving of protocol actions
+//! runs; the result may not.
+
+use adsm::{run_app_tuned, App, ProtocolKind, RunOptions, Scale};
+
+const PROTOCOLS: [ProtocolKind; 6] = [
+    ProtocolKind::Mw,
+    ProtocolKind::Sw,
+    ProtocolKind::Wfs,
+    ProtocolKind::WfsWg,
+    ProtocolKind::Sc,
+    ProtocolKind::Hlrc,
+];
+
+fn fuzz(app: App, nprocs: usize, seeds: &[u64]) {
+    for protocol in PROTOCOLS {
+        for &seed in seeds {
+            let opts = RunOptions {
+                schedule_fuzz: Some(seed),
+                ..RunOptions::default()
+            };
+            let run = run_app_tuned(app, protocol, nprocs, Scale::Tiny, &opts);
+            assert!(
+                run.ok,
+                "{app} under {protocol}, fuzz seed {seed}: {}",
+                run.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn sor_is_schedule_independent() {
+    fuzz(App::Sor, 4, &[3, 0x5EED]);
+}
+
+#[test]
+fn is_is_schedule_independent() {
+    fuzz(App::Is, 4, &[3, 0x5EED]);
+}
+
+#[test]
+fn fft_is_schedule_independent() {
+    fuzz(App::Fft3d, 2, &[3, 0x5EED]);
+}
+
+#[test]
+fn tsp_terminates_and_is_optimal_under_fuzz() {
+    // TSP's branch-and-bound prunes against a racy-but-monotonic shared
+    // bound; any schedule must still find the Held-Karp optimum.
+    fuzz(App::Tsp, 4, &[3, 0x5EED]);
+}
+
+#[test]
+fn water_is_schedule_independent() {
+    fuzz(App::Water, 4, &[3]);
+}
+
+#[test]
+fn shallow_is_schedule_independent() {
+    fuzz(App::Shallow, 4, &[3]);
+}
+
+#[test]
+fn barnes_is_schedule_independent() {
+    fuzz(App::Barnes, 4, &[3]);
+}
+
+#[test]
+fn ilink_is_schedule_independent() {
+    fuzz(App::Ilink, 4, &[3]);
+}
+
+#[test]
+fn fuzzed_runs_reproduce_per_seed() {
+    // Same seed, same protocol: byte-identical traffic and timing.
+    let opts = RunOptions {
+        schedule_fuzz: Some(99),
+        ..RunOptions::default()
+    };
+    for protocol in [ProtocolKind::Wfs, ProtocolKind::Hlrc] {
+        let a = run_app_tuned(App::Is, protocol, 4, Scale::Tiny, &opts);
+        let b = run_app_tuned(App::Is, protocol, 4, Scale::Tiny, &opts);
+        assert!(a.ok && b.ok);
+        assert_eq!(
+            a.outcome.report.net.total_messages(),
+            b.outcome.report.net.total_messages(),
+            "{protocol}: fuzzed run not reproducible"
+        );
+        assert_eq!(a.outcome.report.time, b.outcome.report.time);
+    }
+}
