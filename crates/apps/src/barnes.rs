@@ -176,7 +176,12 @@ impl Octree {
     }
 
     /// Computes mass and centre of mass bottom-up.
-    fn summarize(&mut self, node: usize, positions: &[[f64; 3]], masses: &[f64]) -> (f64, [f64; 3]) {
+    fn summarize(
+        &mut self,
+        node: usize,
+        positions: &[[f64; 3]],
+        masses: &[f64],
+    ) -> (f64, [f64; 3]) {
         if let Some(b) = self.nodes[node].body {
             let m = masses[b];
             self.nodes[node].mass = m;
@@ -306,12 +311,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     let params = BarnesParams::new(scale);
     let n = params.nbodies;
     let mut dsm = opts.builder(protocol, nprocs).build();

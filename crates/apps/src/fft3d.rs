@@ -112,8 +112,7 @@ fn fft1d(line: &mut [f64], inverse: bool) {
 /// Spectral evolution factor for wavenumber index `k` of `n` at
 /// iteration `it` — a deterministic unit-magnitude rotation.
 fn evolve(k: usize, n: usize, it: usize) -> (f64, f64) {
-    let theta =
-        2.0 * std::f64::consts::PI * (k as f64 / n as f64) * (0.1 + 0.05 * it as f64);
+    let theta = 2.0 * std::f64::consts::PI * (k as f64 / n as f64) * (0.1 + 0.05 * it as f64);
     (theta.cos(), theta.sin())
 }
 
@@ -231,12 +230,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     run_params(protocol, nprocs, FftParams::new(scale), opts)
 }
 
@@ -357,8 +351,7 @@ fn run_params(
                 for z in z0..z1 {
                     for y in 0..n {
                         for x in 0..n {
-                            let v =
-                                tdata.read_range(p, xmaj(x, y, z, n), xmaj(x, y, z, n) + 2);
+                            let v = tdata.read_range(p, xmaj(x, y, z, n), xmaj(x, y, z, n) + 2);
                             plane[2 * (y * n + x)] = v[0];
                             plane[2 * (y * n + x) + 1] = v[1];
                         }
@@ -448,6 +441,9 @@ mod tests {
             "only the stats page may be falsely shared, got {}",
             profile.ww_false_shared_pages
         );
-        assert!(profile.written_pages > 30, "many data pages, one stats page");
+        assert!(
+            profile.written_pages > 30,
+            "many data pages, one stats page"
+        );
     }
 }

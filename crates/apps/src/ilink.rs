@@ -73,8 +73,8 @@ impl IlinkParams {
     /// The deterministic nonzero pattern: slot indices, sorted.
     fn nonzeros(&self) -> Vec<usize> {
         let slots_per_page = adsm_core::PAGE_SIZE / 8;
-        let expected = (self.pool() as f64 / slots_per_page as f64 * self.nnz_per_page)
-            .round() as usize;
+        let expected =
+            (self.pool() as f64 / slots_per_page as f64 * self.nnz_per_page).round() as usize;
         let mut idx: Vec<usize> = (0..expected)
             .map(|k| (mix64(self.seed ^ (k as u64 + 0x9000)) as usize) % self.pool())
             .collect();
@@ -115,12 +115,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     run_params(protocol, nprocs, IlinkParams::new(scale), opts)
 }
 

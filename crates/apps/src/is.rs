@@ -93,12 +93,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     let params = IsParams::new(scale);
     let mut dsm = opts.builder(protocol, nprocs).build();
     let buckets: SharedVec<u64> = dsm.alloc_page_aligned::<u64>(params.nbuckets());

@@ -274,5 +274,8 @@ pub fn run_app_tuned(
 /// synchronisation removed) — the basis of the paper's speedups
 /// (Table 1).
 pub fn sequential_time(app: App, scale: Scale) -> SimTime {
-    run_app(app, ProtocolKind::Raw, 1, scale).outcome.report.time
+    run_app(app, ProtocolKind::Raw, 1, scale)
+        .outcome
+        .report
+        .time
 }

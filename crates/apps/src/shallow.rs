@@ -124,11 +124,9 @@ fn phase1_cell(
     let idx = |a: usize, b: usize| a * row + b;
     let cu = 0.5 * (p[idx(i, j)] + p[idx(i, jm)]) * u[idx(i, j)];
     let cv = 0.5 * (p[idx(i, j)] + p[idx(im, j)]) * v[idx(i, j)];
-    let z = (4.0 / DX * (v[idx(i, j)] - v[idx(i, jm)])
-        - 4.0 / DY * (u[idx(i, j)] - u[idx(im, j)]))
+    let z = (4.0 / DX * (v[idx(i, j)] - v[idx(i, jm)]) - 4.0 / DY * (u[idx(i, j)] - u[idx(im, j)]))
         / (p[idx(im, jm)] + p[idx(im, j)] + p[idx(i, j)] + p[idx(i, jm)]);
-    let h = p[idx(i, j)]
-        + 0.25 * (u[idx(i, j)] * u[idx(i, j)] + v[idx(i, j)] * v[idx(i, j)]);
+    let h = p[idx(i, j)] + 0.25 * (u[idx(i, j)] * u[idx(i, j)] + v[idx(i, j)] * v[idx(i, j)]);
     (cu, cv, z, h)
 }
 
@@ -147,11 +145,15 @@ fn phase2_cell(
     let jp = (j + 1) % n;
     let idx = |a: usize, b: usize| a * row + b;
     let unew = state.uold[idx(i, j)]
-        + tdt * 0.125 * (state.z[idx(ip, j)] + state.z[idx(i, j)])
+        + tdt
+            * 0.125
+            * (state.z[idx(ip, j)] + state.z[idx(i, j)])
             * (state.cv[idx(ip, j)] + state.cv[idx(i, j)])
         - tdt / DX * (state.h[idx(i, jp)] - state.h[idx(i, j)]);
     let vnew = state.vold[idx(i, j)]
-        - tdt * 0.125 * (state.z[idx(i, jp)] + state.z[idx(i, j)])
+        - tdt
+            * 0.125
+            * (state.z[idx(i, jp)] + state.z[idx(i, j)])
             * (state.cu[idx(i, jp)] + state.cu[idx(i, j)])
         - tdt / DY * (state.h[idx(ip, j)] - state.h[idx(i, j)]);
     let pnew = state.pold[idx(i, j)]
@@ -246,12 +248,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     run_params(protocol, nprocs, ShallowParams::new(scale), opts)
 }
 
@@ -328,8 +325,7 @@ fn run_params(
                         let z = (4.0 / DX * (vr[1][j] - vr[1][jm])
                             - 4.0 / DY * (ur[1][j] - ur[0][j]))
                             / (prow[0][jm] + prow[0][j] + prow[1][j] + prow[1][jm]);
-                        let h = prow[1][j]
-                            + 0.25 * (ur[1][j] * ur[1][j] + vr[1][j] * vr[1][j]);
+                        let h = prow[1][j] + 0.25 * (ur[1][j] * ur[1][j] + vr[1][j] * vr[1][j]);
                         out_cu[j] = cu;
                         out_cv[j] = cv;
                         out_z[j] = z;

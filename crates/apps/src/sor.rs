@@ -138,12 +138,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     run_params(protocol, nprocs, SorParams::new(scale), opts)
 }
 

@@ -34,11 +34,7 @@ pub(crate) fn work(count: usize, ns_per_op: u64) -> SimTime {
 }
 
 /// Relative comparison of two f64 slices; returns the first mismatch.
-pub(crate) fn compare_f64(
-    got: &[f64],
-    want: &[f64],
-    tol: f64,
-) -> Result<(), String> {
+pub(crate) fn compare_f64(got: &[f64], want: &[f64], tol: f64) -> Result<(), String> {
     if got.len() != want.len() {
         return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
     }

@@ -59,8 +59,12 @@ impl TspParams {
 /// Euclidean distances.
 pub fn distance_matrix(params: &TspParams) -> Vec<u64> {
     let n = params.ncities;
-    let xs: Vec<f64> = (0..n).map(|i| unit_f64(params.seed ^ (i as u64 * 2 + 1))).collect();
-    let ys: Vec<f64> = (0..n).map(|i| unit_f64(params.seed ^ (i as u64 * 2 + 2))).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|i| unit_f64(params.seed ^ (i as u64 * 2 + 1)))
+        .collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|i| unit_f64(params.seed ^ (i as u64 * 2 + 2)))
+        .collect();
     let mut d = vec![0u64; n * n];
     for i in 0..n {
         for j in 0..n {
@@ -187,12 +191,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     let params = TspParams::new(scale);
     let n = params.ncities;
     let dist = distance_matrix(&params);
@@ -266,9 +265,7 @@ pub fn run_tuned(
                                 continue;
                             }
                             let nlen = len + dist[last * n + next];
-                            if lower_bound(dist, n, mask | (1 << next), next, nlen)
-                                >= cur_best
-                            {
+                            if lower_bound(dist, n, mask | (1 << next), next, nlen) >= cur_best {
                                 continue;
                             }
                             p.lock(LOCK_QUEUE);

@@ -138,12 +138,7 @@ pub fn run(protocol: ProtocolKind, nprocs: usize, scale: Scale) -> AppRun {
 }
 
 /// As [`run`], honouring [`RunOptions`] protocol extensions.
-pub fn run_tuned(
-    protocol: ProtocolKind,
-    nprocs: usize,
-    scale: Scale,
-    opts: &RunOptions,
-) -> AppRun {
+pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &RunOptions) -> AppRun {
     run_params(protocol, nprocs, WaterParams::new(scale), opts)
 }
 
@@ -163,7 +158,10 @@ fn run_params(
     params: WaterParams,
     opts: &RunOptions,
 ) -> AppRun {
-    assert!(nprocs <= MAX_PROCS, "Water supports at most {MAX_PROCS} processors");
+    assert!(
+        nprocs <= MAX_PROCS,
+        "Water supports at most {MAX_PROCS} processors"
+    );
     let n = params.nmol;
     let mut dsm = opts.builder(protocol, nprocs).build();
     let mol: SharedVec<f64> = dsm.alloc_page_aligned::<f64>(n * MOL_WORDS);
@@ -222,9 +220,7 @@ fn run_params(
                 let my_slot = SLOT + 3 * p.index();
                 for owner in 0..np {
                     let (s, e) = band(n, np, owner);
-                    let touched: Vec<usize> = (s..e)
-                        .filter(|&i| scratch[i] != [0.0; 3])
-                        .collect();
+                    let touched: Vec<usize> = (s..e).filter(|&i| scratch[i] != [0.0; 3]).collect();
                     if touched.is_empty() {
                         continue;
                     }

@@ -17,13 +17,8 @@ fn related_protocols(c: &mut Criterion) {
         for protocol in [ProtocolKind::Sc, ProtocolKind::Hlrc, ProtocolKind::Wfs] {
             g.bench_function(format!("{}/{}", app.name(), protocol.name()), |b| {
                 b.iter(|| {
-                    let run = run_app_tuned(
-                        app,
-                        protocol,
-                        nprocs,
-                        Scale::Tiny,
-                        &RunOptions::default(),
-                    );
+                    let run =
+                        run_app_tuned(app, protocol, nprocs, Scale::Tiny, &RunOptions::default());
                     assert!(run.ok, "{}", run.detail);
                     run.outcome.report.net.total_bytes()
                 })

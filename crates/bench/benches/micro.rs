@@ -4,8 +4,9 @@
 //! interconnect — the sensitivity §3.2 alludes to).
 
 use adsm_apps::{run_app, App, Scale};
+use adsm_bench::hotpaths::dirty_page;
 use adsm_core::{CostModel, Dsm, ProtocolKind};
-use adsm_mempage::{Diff, PagedMemory, PageId, AccessRights, PAGE_SIZE};
+use adsm_mempage::{AccessRights, Diff, PageId, PagePool, PagedMemory, PAGE_SIZE};
 use adsm_vclock::{ProcId, VectorClock};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -33,6 +34,57 @@ fn twin_and_diff(c: &mut Criterion) {
     g.bench_function("twin_copy", |b| {
         let page = vec![3u8; PAGE_SIZE];
         b.iter(|| page.clone())
+    });
+    g.finish();
+}
+
+/// The allocation-lean hot paths: chunked vs naive diff encode on
+/// sparse/dense pages, buffer-reusing encode, pooled page copies, and
+/// the scheduler's allocation-free pick.
+fn bench_hotpaths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths");
+
+    // Sparse page (8 dirty words) — the write pattern the paper's
+    // fine-grained apps produce; the chunked encoder's best case.
+    let (stwin, scur) = dirty_page(8);
+    g.bench_function("encode_sparse8_chunked", |b| {
+        b.iter(|| Diff::encode(&stwin, &scur))
+    });
+    g.bench_function("encode_sparse8_naive", |b| {
+        b.iter(|| Diff::encode_naive(&stwin, &scur))
+    });
+    let mut reused = Diff::default();
+    g.bench_function("encode_into_sparse8", |b| {
+        b.iter(|| Diff::encode_into(&stwin, &scur, &mut reused))
+    });
+
+    // Dense page (every word dirty) — the chunked encoder must not
+    // regress the worst case.
+    let (dtwin, dcur) = dirty_page(PAGE_SIZE / 4);
+    g.bench_function("encode_dense_chunked", |b| {
+        b.iter(|| Diff::encode(&dtwin, &dcur))
+    });
+    g.bench_function("encode_dense_naive", |b| {
+        b.iter(|| Diff::encode_naive(&dtwin, &dcur))
+    });
+
+    let diff = Diff::encode(&stwin, &scur);
+    let mut onto = vec![0u8; PAGE_SIZE];
+    g.bench_function("apply_onto_sparse8", |b| {
+        b.iter(|| diff.apply_onto(&stwin, &mut onto))
+    });
+
+    // Pooled page copy vs a fresh heap allocation per copy.
+    let pool = PagePool::new();
+    g.bench_function("pool_get_copy", |b| b.iter(|| pool.get_copy(&scur)));
+    g.bench_function("heap_to_vec", |b| b.iter(|| scur.to_vec()));
+
+    // Scheduler pick: single min-scan, no ready-list allocation.
+    g.bench_function("sched_pick_det8_x1k", |b| {
+        b.iter(|| adsm_engine::sched_pick_rounds(8, None, 1000))
+    });
+    g.bench_function("sched_pick_fuzz8_x1k", |b| {
+        b.iter(|| adsm_engine::sched_pick_rounds(8, Some(7), 1000))
     });
     g.finish();
 }
@@ -72,7 +124,10 @@ fn mmu_fast_path(c: &mut Criterion) {
         })
     });
     g.bench_function("checked_write_8B", |b| {
-        b.iter(|| mem.try_write(16, &[1, 2, 3, 4, 5, 6, 7, 8]).expect("writable"))
+        b.iter(|| {
+            mem.try_write(16, &[1, 2, 3, 4, 5, 6, 7, 8])
+                .expect("writable")
+        })
     });
     g.finish();
 }
@@ -141,6 +196,7 @@ fn network_ablation(c: &mut Criterion) {
 criterion_group!(
     micro,
     twin_and_diff,
+    bench_hotpaths,
     vclock_ops,
     mmu_fast_path,
     simulator_throughput,

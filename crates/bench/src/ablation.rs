@@ -102,7 +102,11 @@ pub fn related(nprocs: usize, scale: Scale, apps: &[App]) -> String {
         }
         let mut row = format!("{:<8}", app.name());
         for c in &cells {
-            let _ = write!(row, " {:>6.2}/{:>5.1}/{:>5.1}", c.speedup, c.msgs, c.data_mb);
+            let _ = write!(
+                row,
+                " {:>6.2}/{:>5.1}/{:>5.1}",
+                c.speedup, c.msgs, c.data_mb
+            );
         }
         let _ = writeln!(out, "{row}");
 
@@ -228,11 +232,7 @@ pub fn ablation_gc(nprocs: usize, scale: Scale) -> String {
         nprocs, scale
     );
     let seq = sequential_time(App::Fft3d, scale);
-    let _ = writeln!(
-        out,
-        "{:<10} {:>18} {:>18}",
-        "Threshold", "MW", "WFS"
-    );
+    let _ = writeln!(out, "{:<10} {:>18} {:>18}", "Threshold", "MW", "WFS");
     for t in thresholds {
         let mut cost = CostModel::sparc_atm();
         cost.gc_threshold_bytes = t;
@@ -440,14 +440,20 @@ pub fn sensitivity(nprocs: usize) -> String {
 
     // SOR: the paper's page-aligned layout vs. rows of 448 doubles
     // (3.5 KB), which puts every band boundary inside a shared page.
-    for (label, cols) in [("SOR 66x512 (aligned)", 512usize), ("SOR 66x448 (unaligned)", 448)] {
+    for (label, cols) in [
+        ("SOR 66x512 (aligned)", 512usize),
+        ("SOR 66x448 (unaligned)", 448),
+    ] {
         let params = sor::SorParams {
             rows: 66,
             cols,
             iters: 8,
             ns_per_elem: 2_000,
         };
-        let seq = sor::run_with(ProtocolKind::Raw, 1, params).outcome.report.time;
+        let seq = sor::run_with(ProtocolKind::Raw, 1, params)
+            .outcome
+            .report
+            .time;
         rows.push(Row {
             label: label.into(),
             mw: sor::run_with(ProtocolKind::Mw, nprocs, params),
@@ -461,14 +467,20 @@ pub fn sensitivity(nprocs: usize) -> String {
     // band boundaries fall inside shared pages) vs. a grid whose rows are
     // exactly one page (n = 511 → 512 doubles), which page-aligns the
     // bands and removes the false sharing.
-    for (label, m, n) in [("Shallow 96x64 (staggered)", 96usize, 64usize), ("Shallow 24x511 (aligned)", 24, 511)] {
+    for (label, m, n) in [
+        ("Shallow 96x64 (staggered)", 96usize, 64usize),
+        ("Shallow 24x511 (aligned)", 24, 511),
+    ] {
         let params = shallow::ShallowParams {
             m,
             n,
             steps: 8,
             ns_per_elem: 10_000,
         };
-        let seq = shallow::run_with(ProtocolKind::Raw, 1, params).outcome.report.time;
+        let seq = shallow::run_with(ProtocolKind::Raw, 1, params)
+            .outcome
+            .report
+            .time;
         rows.push(Row {
             label: label.into(),
             mw: shallow::run_with(ProtocolKind::Mw, nprocs, params),
@@ -520,7 +532,11 @@ pub fn sensitivity(nprocs: usize) -> String {
 pub fn scaling(scale: Scale, apps: &[App]) -> String {
     let sizes: [usize; 3] = [2, 4, 8];
     let mut out = String::new();
-    let _ = writeln!(out, "Speedup scaling ({} scale): processors 2 / 4 / 8", scale);
+    let _ = writeln!(
+        out,
+        "Speedup scaling ({} scale): processors 2 / 4 / 8",
+        scale
+    );
     let mut header = format!("{:<8} {:<6}", "App", "Proto");
     for s in sizes {
         let _ = write!(header, " {:>7}", format!("x{s}"));

@@ -7,6 +7,7 @@
 //! targets: table1 table2 table3 table4 fig1 fig2 fig3 all  (default: all)
 //!          related ablation-quantum ablation-wg ablation-gc
 //!          ablation-migratory ablations
+//!          bench-hotpaths  (also writes BENCH_hotpaths.json)
 //! ```
 
 use std::process::ExitCode;
@@ -64,7 +65,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: repro [table1 table2 table3 table4 fig1 fig2 fig3 all]\n\
                      \x20      [related ablation-quantum ablation-wg ablation-gc\n\
-                     \x20       ablation-migratory ablations]\n\
+                     \x20       ablation-migratory ablations bench-hotpaths]\n\
                      \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]"
                 );
                 std::process::exit(0);
@@ -72,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
             t if t.starts_with("table")
                 || t.starts_with("fig")
                 || t.starts_with("ablation")
+                || t == "bench-hotpaths"
                 || t == "related"
                 || t == "sensitivity"
                 || t == "scaling"
@@ -108,12 +110,32 @@ fn main() -> ExitCode {
     let all = opts.targets.iter().any(|t| t == "all");
     let sweeps = opts.targets.iter().any(|t| t == "ablations");
     let wants = |t: &str| all || opts.targets.iter().any(|x| x == t);
-    let wants_sweep =
-        |t: &str| sweeps || opts.targets.iter().any(|x| x == t);
+    let wants_sweep = |t: &str| sweeps || opts.targets.iter().any(|x| x == t);
 
     // Fig. 1 needs no matrix.
     if wants("fig1") {
         println!("{}", fig1(opts.nprocs));
+    }
+
+    // Hot-path microbenchmarks: printed, and written to
+    // BENCH_hotpaths.json so the perf trajectory is tracked across PRs.
+    // Explicit-only (not part of "all"): the baseline file must not be
+    // clobbered by an incidental table regeneration on a loaded box.
+    if opts.targets.iter().any(|t| t == "bench-hotpaths") {
+        eprintln!("measuring hot paths (encode/apply/pool/pick)...");
+        let report = adsm_bench::measure_hotpaths();
+        let json = report.to_json();
+        println!("{json}");
+        println!(
+            "\nsparse encode speedup (chunked vs naive): {:.2}x, \
+             steady-state allocs/interval: {:.4}",
+            report.sparse_speedup(),
+            report.allocs_per_interval
+        );
+        match std::fs::write("BENCH_hotpaths.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_hotpaths.json"),
+            Err(e) => eprintln!("could not write BENCH_hotpaths.json: {e}"),
+        }
     }
 
     if opts.targets.iter().any(|t| t == "related") {
@@ -134,7 +156,10 @@ fn main() -> ExitCode {
     }
     if wants_sweep("ablation-migratory") {
         eprintln!("running migratory-optimisation sweep...");
-        println!("{}", ablation_migratory(opts.nprocs, opts.scale, &opts.apps));
+        println!(
+            "{}",
+            ablation_migratory(opts.nprocs, opts.scale, &opts.apps)
+        );
     }
     if wants_sweep("ablation-network") {
         eprintln!("running network-bandwidth sweep...");

@@ -1,0 +1,307 @@
+//! Hot-path microbenchmarks: the per-event constants the allocation-lean
+//! refactor targets — chunked diff encode/apply, the page pool, and the
+//! scheduler pick — measured with plain wall-clock loops so the numbers
+//! can be emitted as machine-readable JSON (`BENCH_hotpaths.json`) and
+//! tracked across PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use adsm_core::{Dsm, ProtocolKind, RunReport, SimTime};
+use adsm_mempage::{Diff, PagePool, PAGE_SIZE};
+
+/// Times `f` adaptively: batches are doubled until a measured span
+/// exceeds ~10 ms; the whole measurement repeats five times and the
+/// minimum mean ns per call is returned (the minimum is robust against
+/// scheduling noise and frequency excursions).
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let dt = start.elapsed();
+            if dt.as_millis() >= 10 || batch >= 1 << 24 {
+                best = best.min(dt.as_nanos() as f64 / batch as f64);
+                break;
+            }
+            batch *= 2;
+        }
+    }
+    best
+}
+
+/// A twin/page pair with `dirty` modified words spread across the page.
+pub fn dirty_page(dirty: usize) -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0u8; PAGE_SIZE];
+    let mut cur = twin.clone();
+    let words = PAGE_SIZE / 4;
+    for k in 0..dirty {
+        let w = k * words / dirty.max(1);
+        cur[w * 4] = 7;
+    }
+    (twin, cur)
+}
+
+/// Measured hot-path numbers (all ns/op unless noted).
+pub struct HotpathReport {
+    pub encode_sparse_chunked: f64,
+    pub encode_sparse_naive: f64,
+    pub encode_dense_chunked: f64,
+    pub encode_dense_naive: f64,
+    pub encode_into_sparse: f64,
+    pub apply_sparse: f64,
+    pub apply_onto_sparse: f64,
+    pub pool_get_copy: f64,
+    pub vec_to_vec: f64,
+    pub pick_det_8: f64,
+    pub pick_det_64: f64,
+    pub pick_fuzz_8: f64,
+    /// SOR steady state: fresh pool allocations per extra simulated
+    /// interval (the acceptance target is exactly 0).
+    pub allocs_per_interval: f64,
+    pub steady_intervals: u64,
+    pub steady_reuse_delta: u64,
+}
+
+impl HotpathReport {
+    /// Speedup of the chunked encoder over the naive word scan on the
+    /// sparse (8 dirty words) page.
+    pub fn sparse_speedup(&self) -> f64 {
+        self.encode_sparse_naive / self.encode_sparse_chunked
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"hotpaths\",");
+        let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+        let _ = writeln!(s, "  \"encode\": {{");
+        let _ = writeln!(s, "    \"sparse_dirty_words\": 8,");
+        let _ = writeln!(
+            s,
+            "    \"sparse_chunked_ns\": {:.1},",
+            self.encode_sparse_chunked
+        );
+        let _ = writeln!(
+            s,
+            "    \"sparse_naive_ns\": {:.1},",
+            self.encode_sparse_naive
+        );
+        let _ = writeln!(s, "    \"sparse_speedup\": {:.2},", self.sparse_speedup());
+        let _ = writeln!(
+            s,
+            "    \"dense_chunked_ns\": {:.1},",
+            self.encode_dense_chunked
+        );
+        let _ = writeln!(s, "    \"dense_naive_ns\": {:.1},", self.encode_dense_naive);
+        let _ = writeln!(
+            s,
+            "    \"encode_into_sparse_ns\": {:.1}",
+            self.encode_into_sparse
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"apply\": {{");
+        let _ = writeln!(s, "    \"sparse_ns\": {:.1},", self.apply_sparse);
+        let _ = writeln!(
+            s,
+            "    \"apply_onto_sparse_ns\": {:.1}",
+            self.apply_onto_sparse
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"pool\": {{");
+        let _ = writeln!(s, "    \"get_copy_ns\": {:.1},", self.pool_get_copy);
+        let _ = writeln!(s, "    \"heap_to_vec_ns\": {:.1}", self.vec_to_vec);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"sched_pick\": {{");
+        let _ = writeln!(s, "    \"det_8_tasks_ns\": {:.1},", self.pick_det_8);
+        let _ = writeln!(s, "    \"det_64_tasks_ns\": {:.1},", self.pick_det_64);
+        let _ = writeln!(s, "    \"fuzz_8_tasks_ns\": {:.1}", self.pick_fuzz_8);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"steady_state\": {{");
+        let _ = writeln!(s, "    \"workload\": \"sor_mw_4procs\",");
+        let _ = writeln!(s, "    \"extra_intervals\": {},", self.steady_intervals);
+        let _ = writeln!(
+            s,
+            "    \"allocs_per_interval\": {:.4},",
+            self.allocs_per_interval
+        );
+        let _ = writeln!(s, "    \"pool_reuse_delta\": {}", self.steady_reuse_delta);
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+/// Cluster size and iteration counts of the steady-state workload; the
+/// interval denominator below is derived from these.
+const SOR_NPROCS: usize = 4;
+const SOR_SHORT_ITERS: usize = 3;
+const SOR_LONG_ITERS: usize = 9;
+/// Barriers (= interval closes per processor) per SOR iteration.
+const SOR_BARRIERS_PER_ITER: usize = 2;
+
+/// SOR-style red/black sweep used for the steady-state allocation count
+/// (same shape as the `allocation_free` integration test).
+fn sor_run(iters: usize) -> RunReport {
+    const NPROCS: usize = SOR_NPROCS;
+    const N: usize = 64;
+    let mut dsm = Dsm::builder(ProtocolKind::Mw).nprocs(NPROCS).build();
+    let grid = dsm.alloc_page_aligned::<u64>(N * N);
+    dsm.run(move |p| {
+        let rows = N / p.nprocs();
+        let lo = p.index() * rows;
+        for it in 0..iters {
+            for colour in 0..2usize {
+                for r in lo..lo + rows {
+                    if r % 2 != colour {
+                        continue;
+                    }
+                    for c in 0..N {
+                        let up = if r == 0 {
+                            0
+                        } else {
+                            grid.get(p, (r - 1) * N + c)
+                        };
+                        let v = up / 2 + (it + colour) as u64;
+                        grid.set(p, r * N + c, v);
+                    }
+                }
+                p.compute(SimTime::from_us(20));
+                p.barrier();
+            }
+        }
+    })
+    .expect("SOR bench run completes")
+    .report
+}
+
+/// Runs the whole hot-path suite.
+pub fn measure_hotpaths() -> HotpathReport {
+    let (stwin, scur) = dirty_page(8);
+    let (dtwin, dcur) = dirty_page(PAGE_SIZE / 4);
+
+    let encode_sparse_chunked = time_ns(|| {
+        std::hint::black_box(Diff::encode(&stwin, &scur));
+    });
+    let encode_sparse_naive = time_ns(|| {
+        std::hint::black_box(Diff::encode_naive(&stwin, &scur));
+    });
+    let encode_dense_chunked = time_ns(|| {
+        std::hint::black_box(Diff::encode(&dtwin, &dcur));
+    });
+    let encode_dense_naive = time_ns(|| {
+        std::hint::black_box(Diff::encode_naive(&dtwin, &dcur));
+    });
+    let mut reused = Diff::default();
+    let encode_into_sparse = time_ns(|| {
+        Diff::encode_into(&stwin, &scur, &mut reused);
+        std::hint::black_box(&reused);
+    });
+
+    let diff = Diff::encode(&stwin, &scur);
+    let mut target = stwin.clone();
+    let apply_sparse = time_ns(|| {
+        diff.apply(std::hint::black_box(&mut target));
+    });
+    let mut onto = vec![0u8; PAGE_SIZE];
+    let apply_onto_sparse = time_ns(|| {
+        diff.apply_onto(&stwin, std::hint::black_box(&mut onto));
+    });
+
+    let pool = PagePool::new();
+    let pool_get_copy = time_ns(|| {
+        std::hint::black_box(pool.get_copy(&scur));
+    });
+    let vec_to_vec = time_ns(|| {
+        std::hint::black_box(scur.to_vec());
+    });
+
+    const ROUNDS: usize = 4096;
+    let pick_det_8 = time_ns(|| {
+        std::hint::black_box(adsm_engine::sched_pick_rounds(8, None, ROUNDS));
+    }) / ROUNDS as f64;
+    let pick_det_64 = time_ns(|| {
+        std::hint::black_box(adsm_engine::sched_pick_rounds(64, None, ROUNDS));
+    }) / ROUNDS as f64;
+    let pick_fuzz_8 = time_ns(|| {
+        std::hint::black_box(adsm_engine::sched_pick_rounds(8, Some(42), ROUNDS));
+    }) / ROUNDS as f64;
+
+    let short = sor_run(SOR_SHORT_ITERS);
+    let long = sor_run(SOR_LONG_ITERS);
+    // One interval close per processor per barrier.
+    let steady_intervals =
+        ((SOR_LONG_ITERS - SOR_SHORT_ITERS) * SOR_BARRIERS_PER_ITER * SOR_NPROCS) as u64;
+    let created_delta = long
+        .proto
+        .pool_pages_created
+        .saturating_sub(short.proto.pool_pages_created);
+    let allocs_per_interval = created_delta as f64 / steady_intervals as f64;
+    let steady_reuse_delta = long
+        .proto
+        .pool_pages_reused
+        .saturating_sub(short.proto.pool_pages_reused);
+
+    HotpathReport {
+        encode_sparse_chunked,
+        encode_sparse_naive,
+        encode_dense_chunked,
+        encode_dense_naive,
+        encode_into_sparse,
+        apply_sparse,
+        apply_onto_sparse,
+        pool_get_copy,
+        vec_to_vec,
+        pick_det_8,
+        pick_det_64,
+        pick_fuzz_8,
+        allocs_per_interval,
+        steady_intervals,
+        steady_reuse_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_page_produces_the_requested_density() {
+        let (twin, cur) = dirty_page(8);
+        let d = Diff::encode(&twin, &cur);
+        assert_eq!(d.modified_bytes(), 8 * 4);
+        assert_eq!(d, Diff::encode_naive(&twin, &cur));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let r = HotpathReport {
+            encode_sparse_chunked: 100.0,
+            encode_sparse_naive: 400.0,
+            encode_dense_chunked: 1.0,
+            encode_dense_naive: 1.0,
+            encode_into_sparse: 1.0,
+            apply_sparse: 1.0,
+            apply_onto_sparse: 1.0,
+            pool_get_copy: 1.0,
+            vec_to_vec: 1.0,
+            pick_det_8: 1.0,
+            pick_det_64: 1.0,
+            pick_fuzz_8: 1.0,
+            allocs_per_interval: 0.0,
+            steady_intervals: 48,
+            steady_reuse_delta: 10,
+        };
+        assert!((r.sparse_speedup() - 4.0).abs() < 1e-9);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"sparse_speedup\": 4.00"));
+        assert!(json.contains("\"allocs_per_interval\": 0.0000"));
+    }
+}

@@ -20,11 +20,13 @@ use adsm_apps::{kernels, run_app, App, AppRun, Scale};
 use adsm_core::{ProtocolKind, SimTime};
 
 mod ablation;
+pub mod hotpaths;
 
 pub use ablation::{
     ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_quantum,
     ablation_wg, related, scaling, sensitivity,
 };
+pub use hotpaths::{measure_hotpaths, HotpathReport};
 
 /// The four protocols in the paper's presentation order (Fig. 2).
 pub const PROTOCOLS: [ProtocolKind; 4] = ProtocolKind::EVALUATED;
@@ -404,14 +406,12 @@ pub fn fig3(m: &Matrix) -> String {
     // Paper ratio: 1 MB threshold for a 64^3 grid (2 arrays x 16 B).
     let paper_data = 2usize * 64 * 64 * 64 * 16;
     let our_data = 2 * params.n * params.n * params.n * 16;
-    cost.gc_threshold_bytes =
-        ((1usize << 20) * our_data / paper_data).max(32 * 1024);
+    cost.gc_threshold_bytes = ((1usize << 20) * our_data / paper_data).max(32 * 1024);
     let protos = [ProtocolKind::Mw, ProtocolKind::WfsWg, ProtocolKind::Wfs];
     let mut runs = std::collections::BTreeMap::new();
     let mut peak = 1u64;
     for proto in protos {
-        let run =
-            adsm_apps::fft3d::run_custom(proto, m.nprocs, params, cost.clone());
+        let run = adsm_apps::fft3d::run_custom(proto, m.nprocs, params, cost.clone());
         assert!(run.ok, "fig3 {proto}: {}", run.detail);
         peak = peak.max(run.outcome.report.trace.peak_diffs());
         runs.insert(proto, run);

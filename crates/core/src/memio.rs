@@ -166,7 +166,10 @@ impl<T: Pod> SharedVec<T> {
     ///
     /// Panics if the range is out of bounds.
     pub fn read_range(&self, p: &mut Proc, start: usize, end: usize) -> Vec<T> {
-        assert!(start <= end && end <= self.len, "bad range [{start}, {end})");
+        assert!(
+            start <= end && end <= self.len,
+            "bad range [{start}, {end})"
+        );
         let mut out = vec![T::default(); end - start];
         self.read_into(p, start, &mut out);
         out

@@ -57,6 +57,11 @@ pub struct ProtocolStats {
     pub invalidations: u64,
     /// HLRC comparator: diffs flushed to page homes at interval close.
     pub home_flushes: u64,
+    /// Page buffers the page pool allocated from the heap (pool misses).
+    /// Flat after warm-up: the steady state allocates nothing.
+    pub pool_pages_created: u64,
+    /// Page buffers the page pool served by recycling (pool hits).
+    pub pool_pages_reused: u64,
 }
 
 impl ProtocolStats {

@@ -176,9 +176,10 @@ impl Proc {
     }
 
     fn access_tick(&mut self, bytes: usize) {
-        self.task.advance(self.access_cost.max(SimTime::from_ns(
-            self.mem_per_byte_ns * bytes as u64,
-        )));
+        self.task.advance(
+            self.access_cost
+                .max(SimTime::from_ns(self.mem_per_byte_ns * bytes as u64)),
+        );
         if !self.raw {
             self.task.yield_turn();
         }

@@ -58,9 +58,7 @@ fn migratory_grant_eligible(ctx: &Ctx<'_>, p: ProcId, page: PageId) -> bool {
         return false;
     }
     match (pg.owner, pc.hvn) {
-        (Some(q), Some(Hvn { version, proc })) => {
-            q != p && proc == q && version == pg.version
-        }
+        (Some(q), Some(Hvn { version, proc })) => q != p && proc == q && version == pg.version,
         _ => false,
     }
 }
@@ -318,7 +316,10 @@ fn install_merged_copy(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: PageId) {
     );
     // The server validates before serving (as in `fetch_page_from`), so
     // its copy reflects its full knowledge.
-    if !ctx.w.procs[q.index()].pages[page.index()].missing.is_empty() {
+    if !ctx.w.procs[q.index()].pages[page.index()]
+        .missing
+        .is_empty()
+    {
         lrc::validate_page(ctx, q, page);
     }
     let bytes = lrc::serve_page_bytes(ctx.w, ctx.mems, q, page);

@@ -109,7 +109,10 @@ pub(crate) fn fetch_from_home(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         ctx.interrupt(home);
         ctx.w.proto.pages_transferred += 1;
 
-        let bytes = ctx.mems[home.index()].lock().page(page).to_vec();
+        let bytes = ctx
+            .w
+            .pool
+            .get_copy(ctx.mems[home.index()].lock().page(page));
         let mut mem = ctx.mems[pidx].lock();
         mem.install_page(page, &bytes);
         if let Some(delta) = delta {
@@ -158,8 +161,7 @@ pub(crate) fn flush_diff_to_home(
     }
 
     let send = w.msg(MsgKind::DiffFlush, wire, p, home);
-    let apply = w.cfg.cost.diff_apply(diff.modified_bytes())
-        + w.cfg.cost.service_interrupt;
+    let apply = w.cfg.cost.diff_apply(diff.modified_bytes()) + w.cfg.cost.service_interrupt;
     w.deferred_costs.push((home.index(), apply));
     w.proto.diffs_applied += 1;
 

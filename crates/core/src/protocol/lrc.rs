@@ -2,7 +2,7 @@
 //! write-notice propagation, invalidation, and the page-validation /
 //! merge procedure of §3.1.1.
 
-use adsm_mempage::{AccessRights, PagedMemory, PageId, PAGE_SIZE};
+use adsm_mempage::{AccessRights, PageId, PagedMemory, PAGE_SIZE};
 use adsm_netsim::{MsgKind, SimTime, TraceKind};
 use adsm_vclock::{IntervalId, ProcId, VectorClock};
 use parking_lot::Mutex;
@@ -196,7 +196,11 @@ pub(crate) fn close_interval(
                     let mut probe = twin.clone();
                     diff.apply(&mut probe);
                     super::trace_word::log_change(
-                        &format!("diff-create {p} {id}"), page, &twin, &probe);
+                        &format!("diff-create {p} {id}"),
+                        page,
+                        &twin,
+                        &probe,
+                    );
                 }
                 cost += w.cfg.cost.diff_create(modified);
                 w.proto.diff_created(diff.wire_size());
@@ -209,8 +213,7 @@ pub(crate) fn close_interval(
                     // Write-granularity test (§3.2): large diffs make the
                     // page a candidate for SW mode; small diffs keep it
                     // in MW mode.
-                    w.pages[page.index()].wants_sw =
-                        modified > w.cfg.cost.wg_threshold_bytes;
+                    w.pages[page.index()].wants_sw = modified > w.cfg.cost.wg_threshold_bytes;
                 }
 
                 writes.push((page, NoticeKind::NonOwner));
@@ -272,11 +275,15 @@ pub(crate) fn materialize_pending(
     let Some(pend) = w.procs[q.index()].pages[pgidx].pending.take() else {
         return SimTime::ZERO;
     };
-    let base = match &w.procs[q.index()].pages[pgidx].twin {
-        Some(t) => t.clone(),
-        None => mems[q.index()].lock().page(page).to_vec(),
+    // Encode straight against the base image — the open session's twin
+    // if one exists, else the current page — without copying it.
+    let diff = match &w.procs[q.index()].pages[pgidx].twin {
+        Some(t) => adsm_mempage::Diff::encode(&pend.twin, t),
+        None => {
+            let mem = mems[q.index()].lock();
+            adsm_mempage::Diff::encode(&pend.twin, mem.page(page))
+        }
     };
-    let diff = adsm_mempage::Diff::encode(&pend.twin, &base);
     w.procs[q.index()].pending_bytes -= PAGE_SIZE as u64;
     w.proto.twin_dropped(PAGE_SIZE);
     let modified = diff.modified_bytes();
@@ -403,10 +410,7 @@ pub(crate) fn integrate_from(
         for page in owner_pages {
             let wants = w.pages[page.index()].wants_sw;
             let pc = &mut w.procs[p.index()].pages[page.index()];
-            let has_concurrent = pc
-                .missing
-                .iter()
-                .any(|n| !n.kind.is_owner());
+            let has_concurrent = pc.missing.iter().any(|n| !n.kind.is_owner());
             if !has_concurrent && pc.mode == PageMode::Mw {
                 let allow = match w.cfg.protocol {
                     ProtocolKind::Wfs => true,
@@ -430,17 +434,19 @@ pub(crate) fn integrate_from(
 
 /// The bytes a processor serves for a page request: its twin if it has an
 /// open write session (so uncommitted modifications of the open interval
-/// do not leak), otherwise its current copy.
+/// do not leak), otherwise its current copy. The returned buffer is on
+/// loan from the world's page pool.
 pub(crate) fn serve_page_bytes(
     w: &World,
     mems: &[Mutex<PagedMemory>],
     q: ProcId,
     page: PageId,
-) -> Vec<u8> {
+) -> adsm_mempage::PageBuf {
     if let Some(twin) = &w.procs[q.index()].pages[page.index()].twin {
         twin.clone()
     } else {
-        mems[q.index()].lock().page(page).to_vec()
+        let mem = mems[q.index()].lock();
+        w.pool.get_copy(mem.page(page))
     }
 }
 
@@ -549,9 +555,8 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         let mut reply_bytes = 0usize;
         for n in keep.iter().filter(|n| n.interval.proc == q) {
             let diff = ctx.w.procs[q.index()].diffs.get(page, n.interval).cloned();
-            let diff = diff.unwrap_or_else(|| {
-                panic!("missing diff for {page} {} at {q}", n.interval)
-            });
+            let diff =
+                diff.unwrap_or_else(|| panic!("missing diff for {page} {} at {q}", n.interval));
             reply_bytes += diff.wire_size();
             to_apply.push((n.interval, diff));
         }
@@ -587,12 +592,15 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     {
         let mut mem = ctx.mems[pidx].lock();
         for (iv, diff) in &to_apply {
-            let before = super::trace_word::watched()
-                .map(|_| mem.page(page).to_vec());
+            let before = super::trace_word::watched().map(|_| mem.page(page).to_vec());
             diff.apply(mem.page_mut(page));
             if let Some(b) = before {
                 super::trace_word::log_change(
-                    &format!("apply {iv} at {p}"), page, &b, mem.page(page));
+                    &format!("apply {iv} at {p}"),
+                    page,
+                    &b,
+                    mem.page(page),
+                );
             }
             apply_cost += cost_model.diff_apply(diff.modified_bytes());
             ctx.w.proto.diffs_applied += 1;
@@ -609,7 +617,7 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         //   forward by applying the same diffs to it.
         if let Some(delta) = delta {
             if installed {
-                let base = mem.page(page).to_vec();
+                let base = ctx.w.pool.get_copy(mem.page(page));
                 delta.apply(mem.page_mut(page));
                 ctx.w.procs[pidx].pages[pgidx].twin = Some(base);
             } else {
@@ -647,7 +655,10 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
     // the requester's domination deletion (which trusts the served copy
     // to reflect the server's knowledge) can drop notices whose
     // modifications the served bytes do not actually contain.
-    if !ctx.w.procs[q.index()].pages[page.index()].missing.is_empty() {
+    if !ctx.w.procs[q.index()].pages[page.index()]
+        .missing
+        .is_empty()
+    {
         validate_page(ctx, q, page);
     }
     let bytes = serve_page_bytes(ctx.w, ctx.mems, q, page);
@@ -661,8 +672,7 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
         let before = super::trace_word::watched().map(|_| mem.page(page).to_vec());
         mem.install_page(page, &bytes);
         if let Some(b) = before {
-            super::trace_word::log_change(
-                &format!("install {p} <- {q}"), page, &b, mem.page(page));
+            super::trace_word::log_change(&format!("install {p} <- {q}"), page, &b, mem.page(page));
         }
     }
     ctx.w.proto.pages_transferred += 1;
@@ -673,7 +683,12 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
     // measured.
     if ctx.w.cfg.protocol == ProtocolKind::WfsWg
         && ctx.w.pages[page.index()].owner == Some(q)
-        && ctx.w.profiler.other_writers(page, p).iter().any(|iv| iv.proc == q)
+        && ctx
+            .w
+            .profiler
+            .other_writers(page, p)
+            .iter()
+            .any(|iv| iv.proc == q)
     {
         ctx.w.pages[page.index()].drop_pending = true;
     }

@@ -15,10 +15,7 @@ use super::lrc::{self, Ctx};
 ///
 /// Also used by the adaptive protocols for pages in MW mode.
 pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
-    let readable = ctx.mems[p.index()]
-        .lock()
-        .rights(page)
-        .readable();
+    let readable = ctx.mems[p.index()].lock().rights(page).readable();
     if !readable {
         // Write fault on an invalid page: fetch + merge first (the page
         // request carries the diff requests; costs accounted inside).
@@ -37,7 +34,7 @@ pub(crate) fn ensure_twin_and_write(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) 
         // interval's retained twin must be encoded now ("forced diff").
         let mcost = lrc::materialize_pending(ctx.w, ctx.mems, p, page);
         ctx.charge(mcost);
-        let twin = ctx.mems[pidx].lock().page(page).to_vec();
+        let twin = ctx.w.pool.get_copy(ctx.mems[pidx].lock().page(page));
         ctx.w.procs[pidx].pages[pgidx].twin = Some(twin);
         let cost = ctx.w.cfg.cost.twin;
         ctx.charge(cost);

@@ -66,7 +66,10 @@ pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // triggers the invalidation round. Its retained copy joins the
     // copyset — every readable copy must be tracked, or a later writer's
     // invalidation round would miss it and leave it stale.
-    let bytes = ctx.mems[owner.index()].lock().page(page).to_vec();
+    let bytes = ctx
+        .w
+        .pool
+        .get_copy(ctx.mems[owner.index()].lock().page(page));
     {
         let mut mem = ctx.mems[p.index()].lock();
         mem.install_page(page, &bytes);
@@ -92,7 +95,8 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         let manager = ProcId::new(pgidx % ctx.w.nprocs());
         let c_req = ctx.w.msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, manager);
         let c_fwd = if manager != owner {
-            ctx.w.msg(MsgKind::OwnershipForward, CTRL_BYTES, manager, owner)
+            ctx.w
+                .msg(MsgKind::OwnershipForward, CTRL_BYTES, manager, owner)
         } else {
             SimTime::ZERO
         };
@@ -106,7 +110,10 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         ctx.interrupt(owner);
 
         if needs_page {
-            let bytes = ctx.mems[owner.index()].lock().page(page).to_vec();
+            let bytes = ctx
+                .w
+                .pool
+                .get_copy(ctx.mems[owner.index()].lock().page(page));
             ctx.mems[p.index()].lock().install_page(page, &bytes);
             ctx.w.proto.pages_transferred += 1;
         }
@@ -197,7 +204,8 @@ pub(crate) fn check_invariants(ctx: &Ctx<'_>, label: &str) {
                 );
                 let bytes = ctx.mems[q].lock().page(page).to_vec();
                 assert_eq!(
-                    bytes, owner_bytes,
+                    bytes,
+                    owner_bytes,
                     "{label}: page {pg} stale readable copy at p{q} (owner p{})",
                     owner.index()
                 );

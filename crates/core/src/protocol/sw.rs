@@ -36,7 +36,8 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // requester == home; self-messages are free).
     let c_req = ctx.w.msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, home);
     let c_fwd = if home != owner {
-        ctx.w.msg(MsgKind::OwnershipForward, CTRL_BYTES, home, owner)
+        ctx.w
+            .msg(MsgKind::OwnershipForward, CTRL_BYTES, home, owner)
     } else {
         adsm_netsim::SimTime::ZERO
     };
@@ -101,7 +102,11 @@ pub(crate) fn soft_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // The owner's copy can be invalid if concurrent writers appeared
     // (adaptive protocols); merge their modifications first.
     let readable = ctx.mems[p.index()].lock().rights(page).readable();
-    if !readable || !ctx.w.procs[p.index()].pages[page.index()].missing.is_empty() {
+    if !readable
+        || !ctx.w.procs[p.index()].pages[page.index()]
+            .missing
+            .is_empty()
+    {
         lrc::validate_page(ctx, p, page);
     }
     ctx.mems[p.index()]

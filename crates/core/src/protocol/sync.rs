@@ -36,16 +36,12 @@ pub(crate) fn acquire(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) -> AcquireOutc
     ctx.drain_deferred();
     let nprocs = ctx.w.nprocs();
     let manager = ProcId::new((lock_id as usize) % nprocs);
-    let state = ctx
-        .w
-        .locks
-        .entry(lock_id)
-        .or_insert_with(|| LockState {
-            holder: None,
-            queue: std::collections::VecDeque::new(),
-            last_releaser: manager,
-            release_time: SimTime::ZERO,
-        });
+    let state = ctx.w.locks.entry(lock_id).or_insert_with(|| LockState {
+        holder: None,
+        queue: std::collections::VecDeque::new(),
+        last_releaser: manager,
+        release_time: SimTime::ZERO,
+    });
 
     let holder = state.holder;
     let last_releaser = state.last_releaser;
@@ -78,7 +74,9 @@ pub(crate) fn acquire(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) -> AcquireOutc
 
         let grantor_vc = ctx.w.procs[grantor.index()].vc.clone();
         let bytes = lrc::integrate_from(ctx.w, ctx.mems, p, &grantor_vc);
-        let c_grant = ctx.w.msg(MsgKind::LockGrant, CTRL_BYTES + bytes, grantor, p);
+        let c_grant = ctx
+            .w
+            .msg(MsgKind::LockGrant, CTRL_BYTES + bytes, grantor, p);
         ctx.charge(cost_model.service_interrupt + close_cost + c_grant);
 
         ctx.w.locks.get_mut(&lock_id).expect("lock exists").holder = Some(p);
@@ -184,8 +182,7 @@ pub(crate) fn barrier_arrive(ctx: &mut Ctx<'_>, p: ProcId) -> BarrierOutcome {
     }
     let mut release_payloads = vec![0usize; nprocs];
     for q in ProcId::all(nprocs) {
-        release_payloads[q.index()] =
-            lrc::integrate_from(ctx.w, ctx.mems, q, &global_vc);
+        release_payloads[q.index()] = lrc::integrate_from(ctx.w, ctx.mems, q, &global_vc);
     }
 
     // Adaptive barrier-time detection (mechanism 3), then GC.
@@ -258,11 +255,10 @@ fn mechanism3(ctx: &mut Ctx<'_>) {
         if cands.is_empty() {
             continue;
         }
-        let dominator = cands.iter().copied().find(|c| {
-            cands
-                .iter()
-                .all(|o| o == c || ctx.w.vc_of(*c).covers(*o))
-        });
+        let dominator = cands
+            .iter()
+            .copied()
+            .find(|c| cands.iter().all(|o| o == c || ctx.w.vc_of(*c).covers(*o)));
         let Some(dom) = dominator else {
             continue; // concurrent writers remain: still falsely shared
         };
@@ -309,4 +305,3 @@ fn mechanism3(ctx: &mut Ctx<'_>) {
         ctx.w.trace_event(now, TraceKind::SwitchToSw);
     }
 }
-

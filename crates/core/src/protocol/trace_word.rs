@@ -38,4 +38,3 @@ pub(crate) fn log_change(event: &str, page: PageId, before: &[u8], after: &[u8])
         eprintln!("[trace-word] {event}: {b:#018x} -> {a:#018x}");
     }
 }
-

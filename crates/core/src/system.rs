@@ -240,9 +240,7 @@ impl Dsm {
                 "the Raw baseline only supports a single processor".into(),
             ));
         }
-        if cfg.diff_strategy == crate::DiffStrategy::Lazy
-            && cfg.protocol != ProtocolKind::Mw
-        {
+        if cfg.diff_strategy == crate::DiffStrategy::Lazy && cfg.protocol != ProtocolKind::Mw {
             return Err(RunError::BadConfig(
                 "lazy diffing is only supported by the MW protocol".into(),
             ));
@@ -306,9 +304,7 @@ impl Dsm {
                 let is_echo = msg.contains("poisoned");
                 match &failure {
                     None => failure = Some(msg),
-                    Some(prev) if prev.contains("poisoned") && !is_echo => {
-                        failure = Some(msg)
-                    }
+                    Some(prev) if prev.contains("poisoned") && !is_echo => failure = Some(msg),
                     _ => {}
                 }
             }
@@ -321,15 +317,14 @@ impl Dsm {
         }
 
         let proc_times = engine.clocks();
-        let time = proc_times
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max);
+        let time = proc_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
 
         let mut w = Arc::try_unwrap(world)
             .map_err(|_| ())
             .expect("all threads joined")
             .into_inner();
+        w.proto.pool_pages_created = w.pool.pages_created();
+        w.proto.pool_pages_reused = w.pool.pages_reused();
         let report = RunReport {
             protocol,
             nprocs,
@@ -343,7 +338,9 @@ impl Dsm {
             touched_pages: w.touched_pages(),
         };
 
-        let mems = Arc::try_unwrap(mems).map_err(|_| ()).expect("threads joined");
+        let mems = Arc::try_unwrap(mems)
+            .map_err(|_| ())
+            .expect("threads joined");
         let image = finalize_image(&mut w, &mems, protocol, npages);
 
         Ok(RunOutcome { report, image })

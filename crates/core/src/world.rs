@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use adsm_mempage::{Diff, PageId};
+use adsm_mempage::{Diff, PageBuf, PageId, PagePool};
 use adsm_netsim::{MsgKind, NetStats, SimTime, Trace};
 use adsm_vclock::{IntervalId, ProcId, VectorClock};
 
@@ -44,8 +44,9 @@ pub(crate) struct Hvn {
 pub(crate) struct PendingDiff {
     /// The interval whose modifications the twin captures the base of.
     pub interval: IntervalId,
-    /// The page image at the start of that interval.
-    pub twin: Vec<u8>,
+    /// The page image at the start of that interval (pool-backed;
+    /// returns to the [`PagePool`] when dropped or materialised).
+    pub twin: PageBuf,
 }
 
 /// Per-processor, per-page protocol state.
@@ -56,7 +57,8 @@ pub(crate) struct PageCtl {
     /// SW/MW belief of this processor for this page.
     pub mode: PageMode,
     /// Twin (copy made at the first write of an interval), MW mode only.
-    pub twin: Option<Vec<u8>>,
+    /// Pool-backed: dropping it recycles the buffer.
+    pub twin: Option<PageBuf>,
     /// Written during the currently open interval?
     pub dirty: bool,
     /// Write notices received and not yet applied to the local copy.
@@ -229,6 +231,9 @@ pub(crate) struct World {
     pub proto: ProtocolStats,
     pub trace: Trace,
     pub profiler: Profiler,
+    /// Recycling pool for twins, fetched pages and merge scratch: the
+    /// steady state allocates no page buffers from the heap.
+    pub pool: PagePool,
 }
 
 impl World {
@@ -277,6 +282,7 @@ impl World {
             proto: ProtocolStats::new(),
             trace: Trace::new(),
             profiler: Profiler::new(nprocs, npages),
+            pool: PagePool::new(),
             cfg,
         }
     }

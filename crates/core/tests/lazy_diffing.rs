@@ -82,8 +82,7 @@ fn lazy_matches_eager_results() {
     assert_eq!(eager.read_vec(&probe), lazy.read_vec(&probe));
     // Every diff is consumed in this pattern, so creation counts match.
     assert_eq!(
-        eager.report.proto.diffs_created,
-        lazy.report.proto.diffs_created,
+        eager.report.proto.diffs_created, lazy.report.proto.diffs_created,
         "fully consumed pattern must materialise every diff"
     );
     // And the traffic is identical: laziness changes *when* diffs are

@@ -172,7 +172,10 @@ fn wfs_producer_consumer_stays_single_writer() {
 #[test]
 fn wfs_migratory_transfers_ownership_without_twins() {
     let out = migratory(ProtocolKind::Wfs, 3);
-    assert!(out.report.proto.ownership_grants > 0, "ownership must migrate");
+    assert!(
+        out.report.proto.ownership_grants > 0,
+        "ownership must migrate"
+    );
     assert_eq!(out.report.proto.ownership_refusals, 0);
     assert_eq!(out.report.proto.twins_created, 0, "migratory stays SW");
 }

@@ -53,4 +53,6 @@
 
 mod sched;
 
+#[doc(hidden)]
+pub use sched::sched_pick_rounds;
 pub use sched::{Engine, EngineError, Task, TaskId};

@@ -43,6 +43,9 @@ enum Status {
 struct Sched {
     clocks: Vec<u64>,
     status: Vec<Status>,
+    /// Number of `Status::Ready` entries, maintained on every status
+    /// transition so the pick path never rebuilds a ready list.
+    ready: usize,
     poisoned: bool,
     /// `None`: deterministic least-(clock, id) scheduling (the calibrated
     /// virtual-time mode). `Some(state)`: seeded pseudo-random choice
@@ -60,39 +63,67 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl Sched {
+    /// Sets task `i`'s status, keeping the cached ready count exact.
+    #[inline]
+    fn set_status(&mut self, i: usize, s: Status) {
+        self.ready -= (self.status[i] == Status::Ready) as usize;
+        self.ready += (s == Status::Ready) as usize;
+        self.status[i] = s;
+    }
+
     /// Picks the next Ready task — least (clock, id) normally, seeded
     /// random in fuzz mode — and makes it Active. Returns whether
     /// anything was scheduled. Detects deadlock: nothing Ready, nothing
     /// Active, but some task Blocked.
+    ///
+    /// Allocation-free: a single scan over `status`/`clocks` (and in
+    /// fuzz mode a scan to the k-th Ready entry, the same index-order
+    /// choice the old ready-list build produced).
     fn pick_next(&mut self) -> bool {
         debug_assert!(self.status.iter().all(|&s| s != Status::Active));
-        let ready: Vec<usize> = self
-            .status
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s == Status::Ready)
-            .map(|(i, _)| i)
-            .collect();
-        let next = match (&mut self.fuzz, ready.as_slice()) {
-            (_, []) => None,
-            (Some(state), _) => Some(ready[(splitmix64(state) % ready.len() as u64) as usize]),
-            (None, _) => ready.iter().copied().min_by_key(|&i| (self.clocks[i], i)),
-        };
-        match next {
-            Some(i) => {
-                self.status[i] = Status::Active;
-                true
+        debug_assert_eq!(
+            self.ready,
+            self.status.iter().filter(|&&s| s == Status::Ready).count(),
+            "cached ready count out of sync"
+        );
+        if self.ready == 0 {
+            if self.status.contains(&Status::Blocked) {
+                self.poisoned = true;
+            }
+            return false;
+        }
+        let next = match &mut self.fuzz {
+            Some(state) => {
+                let k = (splitmix64(state) % self.ready as u64) as usize;
+                self.status
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| s == Status::Ready)
+                    .nth(k)
+                    .map(|(i, _)| i)
+                    .expect("k-th ready task exists")
             }
             None => {
-                if self.status.contains(&Status::Blocked) {
-                    self.poisoned = true;
+                let mut best: Option<(u64, usize)> = None;
+                for (i, &s) in self.status.iter().enumerate() {
+                    if s == Status::Ready {
+                        let key = (self.clocks[i], i);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
                 }
-                false
+                best.expect("ready > 0 implies a minimum").1
             }
-        }
+        };
+        self.set_status(next, Status::Active);
+        true
     }
 
     fn min_ready(&self) -> Option<(u64, usize)> {
+        if self.ready == 0 {
+            return None;
+        }
         self.status
             .iter()
             .enumerate()
@@ -120,7 +151,9 @@ pub struct Engine {
 
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Engine").field("ntasks", &self.ntasks).finish()
+        f.debug_struct("Engine")
+            .field("ntasks", &self.ntasks)
+            .finish()
     }
 }
 
@@ -157,6 +190,7 @@ impl Engine {
                 sched: Mutex::new(Sched {
                     clocks: vec![0; ntasks],
                     status: vec![Status::Ready; ntasks],
+                    ready: ntasks,
                     poisoned: false,
                     fuzz,
                 }),
@@ -310,7 +344,7 @@ impl Task {
             s.min_ready().is_some_and(|min| min < mine)
         };
         if reschedule {
-            s.status[self.id] = Status::Ready;
+            s.set_status(self.id, Status::Ready);
             s.pick_next();
             self.inner.cv.notify_all();
             while s.status[self.id] != Status::Active {
@@ -334,7 +368,7 @@ impl Task {
         debug_assert_eq!(s.status[self.id], Status::Active, "block outside turn");
         s.clocks[self.id] += self.local;
         self.local = 0;
-        s.status[self.id] = Status::Blocked;
+        s.set_status(self.id, Status::Blocked);
         if !s.pick_next() {
             // Nothing runnable: deadlock. Poison so every waiter wakes.
             self.inner.cv.notify_all();
@@ -363,7 +397,7 @@ impl Task {
             "unblock of a task that is not blocked"
         );
         s.clocks[other] = s.clocks[other].max(wake_at.as_ns());
-        s.status[other] = Status::Ready;
+        s.set_status(other, Status::Ready);
     }
 
     /// Raises another task's committed clock to at least `t` (e.g. a
@@ -392,7 +426,7 @@ impl Task {
         debug_assert_eq!(s.status[self.id], Status::Active, "finish outside turn");
         s.clocks[self.id] += self.local;
         self.local = 0;
-        s.status[self.id] = Status::Done;
+        s.set_status(self.id, Status::Done);
         s.pick_next();
         self.inner.cv.notify_all();
     }
@@ -402,6 +436,40 @@ impl Task {
             panic!("{}", EngineError::Poisoned);
         }
     }
+}
+
+/// Exercises the scheduler's pick path in isolation: `rounds` iterations
+/// of pick → advance the picked task's clock → back to Ready, over
+/// `ntasks` tasks (seeded-random pick when `fuzz` is set). Returns a
+/// checksum of the picked ids so the work cannot be optimised away.
+///
+/// This is a benchmark hook (used by `adsm-bench`'s `hotpaths` suite to
+/// measure ns/pick without spawning threads), not part of the public
+/// execution model.
+#[doc(hidden)]
+pub fn sched_pick_rounds(ntasks: usize, fuzz: Option<u64>, rounds: usize) -> u64 {
+    let mut s = Sched {
+        clocks: vec![0; ntasks],
+        status: vec![Status::Ready; ntasks],
+        ready: ntasks,
+        poisoned: false,
+        fuzz,
+    };
+    let mut sum = 0u64;
+    for r in 0..rounds {
+        if !s.pick_next() {
+            break;
+        }
+        let picked = s
+            .status
+            .iter()
+            .position(|&st| st == Status::Active)
+            .expect("pick_next made a task active");
+        s.clocks[picked] += 1 + (r as u64 % 7);
+        sum = sum.wrapping_add(picked as u64);
+        s.set_status(picked, Status::Ready);
+    }
+    sum
 }
 
 #[cfg(test)]
@@ -493,10 +561,7 @@ mod tests {
         })
         .unwrap();
         // Task 1 reaches clocks 10 and 20 before task 0 reaches 30.
-        assert_eq!(
-            &*order.lock(),
-            &[(1, 10), (1, 20), (0, 30), (0, 60)]
-        );
+        assert_eq!(&*order.lock(), &[(1, 10), (1, 20), (0, 30), (0, 60)]);
     }
 
     #[test]
@@ -558,7 +623,9 @@ mod tests {
                 // Pseudo-random but seeded-by-id compute pattern.
                 let mut x = t.id() as u64 + 1;
                 for _ in 0..20 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     t.advance(SimTime::from_ns(x % 10_000));
                     t.yield_turn();
                     o.lock().push((t.id(), t.clock().as_ns()));

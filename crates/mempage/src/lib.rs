@@ -35,8 +35,10 @@ mod diff;
 mod memory;
 mod page;
 mod pod;
+mod pool;
 
 pub use diff::Diff;
 pub use memory::{AccessRights, FaultKind, PageFault, PagedMemory};
 pub use page::{page_count, page_of, page_span, PageId, PAGE_SIZE, WORD_SIZE};
 pub use pod::Pod;
+pub use pool::{PageBuf, PagePool};

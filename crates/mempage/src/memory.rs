@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{page_span, PageId, PAGE_SIZE};
+use crate::{PageId, PAGE_SIZE};
 
 /// Software page protection, mirroring the rights an `mprotect`-based DSM
 /// would set on each page.
@@ -18,13 +18,24 @@ pub enum AccessRights {
 
 impl AccessRights {
     /// Can the page be read under these rights?
+    #[inline]
     pub fn readable(self) -> bool {
         self != AccessRights::None
     }
 
     /// Can the page be written under these rights?
+    #[inline]
     pub fn writable(self) -> bool {
         self == AccessRights::Write
+    }
+
+    /// Does `kind` succeed under these rights?
+    #[inline]
+    fn permits(self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Read => self.readable(),
+            FaultKind::Write => self.writable(),
+        }
     }
 }
 
@@ -152,6 +163,7 @@ impl PagedMemory {
     /// # Panics
     ///
     /// Panics if the range exceeds the address space.
+    #[inline]
     pub fn try_read(&self, addr: usize, len: usize) -> Result<&[u8], PageFault> {
         self.check(addr, len, FaultKind::Read)?;
         Ok(&self.bytes[addr..addr + len])
@@ -169,6 +181,7 @@ impl PagedMemory {
     /// # Panics
     ///
     /// Panics if the range exceeds the address space.
+    #[inline]
     pub fn try_write(&mut self, addr: usize, data: &[u8]) -> Result<(), PageFault> {
         self.check(addr, data.len(), FaultKind::Write)?;
         self.bytes[addr..addr + data.len()].copy_from_slice(data);
@@ -176,23 +189,33 @@ impl PagedMemory {
     }
 
     /// First page in `[addr, addr+len)` whose rights deny `kind`, if any.
+    #[inline]
     pub fn first_fault(&self, addr: usize, len: usize, kind: FaultKind) -> Option<PageFault> {
         self.check(addr, len, kind).err()
     }
 
+    /// Rights check for `[addr, addr+len)` in a single pass over the
+    /// touched page indices. The common case — an access within one page
+    /// — costs one bounds assert and one table load; no iterator is
+    /// constructed.
+    #[inline]
     fn check(&self, addr: usize, len: usize, kind: FaultKind) -> Result<(), PageFault> {
         assert!(
             addr + len <= self.bytes.len(),
             "access [{addr}, +{len}) beyond shared space of {} bytes",
             self.bytes.len()
         );
-        for page in page_span(addr, len) {
-            let ok = match kind {
-                FaultKind::Read => self.rights[page.index()].readable(),
-                FaultKind::Write => self.rights[page.index()].writable(),
-            };
-            if !ok {
-                return Err(PageFault { page, kind });
+        if len == 0 {
+            return Ok(());
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for idx in first..=last {
+            if !self.rights[idx].permits(kind) {
+                return Err(PageFault {
+                    page: PageId::new(idx),
+                    kind,
+                });
             }
         }
         Ok(())
@@ -278,9 +301,7 @@ mod tests {
         let mut mem = PagedMemory::new(2);
         mem.set_rights(PageId::new(0), AR::Write);
         // Page 1 still invalid: a write spanning both faults on page 1.
-        let fault = mem
-            .try_write(PAGE_SIZE - 2, &[1, 2, 3, 4])
-            .unwrap_err();
+        let fault = mem.try_write(PAGE_SIZE - 2, &[1, 2, 3, 4]).unwrap_err();
         assert_eq!(fault.page, PageId::new(1));
         // And nothing was written to page 0.
         assert_eq!(mem.raw(PAGE_SIZE - 2, 2), &[0, 0]);

@@ -74,6 +74,46 @@ proptest! {
         prop_assert!(diff.run_count() <= diff.modified_bytes() / WORD_SIZE + 1);
     }
 
+    /// The chunked encoder is run-for-run identical to the naive
+    /// word-scan reference: same runs, same offsets, same bytes, same
+    /// wire size.
+    #[test]
+    fn chunked_encode_matches_naive_reference(
+        twin in page_strategy(),
+        cur in page_strategy(),
+    ) {
+        let chunked = Diff::encode(&twin, &cur);
+        let naive = Diff::encode_naive(&twin, &cur);
+        prop_assert_eq!(&chunked, &naive);
+        prop_assert_eq!(chunked.run_count(), naive.run_count());
+        prop_assert_eq!(chunked.modified_bytes(), naive.modified_bytes());
+        prop_assert_eq!(chunked.wire_size(), naive.wire_size());
+    }
+
+    /// Buffer-reusing `encode_into` produces the same diff as the
+    /// allocating API, whatever state the reused diff was left in, and
+    /// `apply_onto` round-trips through a caller-provided buffer.
+    #[test]
+    fn pooled_encode_into_and_apply_round_trip(
+        twin_a in page_strategy(),
+        cur_a in page_strategy(),
+        twin_b in page_strategy(),
+        cur_b in page_strategy(),
+    ) {
+        let mut reused = Diff::default();
+        // First fill leaves runs/data buffers behind for the second
+        // encode to recycle.
+        Diff::encode_into(&twin_a, &cur_a, &mut reused);
+        prop_assert_eq!(&reused, &Diff::encode(&twin_a, &cur_a));
+
+        Diff::encode_into(&twin_b, &cur_b, &mut reused);
+        prop_assert_eq!(&reused, &Diff::encode(&twin_b, &cur_b));
+
+        let mut out = vec![0xAAu8; PAGE_SIZE];
+        reused.apply_onto(&twin_b, &mut out);
+        prop_assert_eq!(out, cur_b);
+    }
+
     /// Applying two diffs with disjoint word sets commutes.
     #[test]
     fn disjoint_diffs_commute(

@@ -3,7 +3,7 @@
 //! invariants the protocols rely on when a single bulk access spans
 //! pages with mixed rights.
 
-use adsm_mempage::{AccessRights, FaultKind, PagedMemory, PageId, PAGE_SIZE};
+use adsm_mempage::{AccessRights, FaultKind, PageId, PagedMemory, PAGE_SIZE};
 use proptest::prelude::*;
 
 const NPAGES: usize = 4;
@@ -21,9 +21,8 @@ fn rights_strategy() -> impl Strategy<Value = Vec<AccessRights>> {
 
 fn span_strategy() -> impl Strategy<Value = (usize, usize)> {
     // Arbitrary [addr, addr+len) within the space, len >= 1.
-    (0usize..NPAGES * PAGE_SIZE - 1).prop_flat_map(|addr| {
-        (Just(addr), 1usize..=(NPAGES * PAGE_SIZE - addr))
-    })
+    (0usize..NPAGES * PAGE_SIZE - 1)
+        .prop_flat_map(|addr| (Just(addr), 1usize..=(NPAGES * PAGE_SIZE - addr)))
 }
 
 fn memory_with(rights: &[AccessRights]) -> PagedMemory {

@@ -72,7 +72,10 @@ impl MsgKind {
     ];
 
     fn idx(self) -> usize {
-        MsgKind::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+        MsgKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
     }
 
     /// Short label used in reports.
@@ -212,10 +215,7 @@ mod tests {
         assert_eq!(s.messages(MsgKind::DiffRequest), 2);
         assert_eq!(s.messages(MsgKind::DiffReply), 1);
         assert_eq!(s.total_messages(), 3);
-        assert_eq!(
-            s.total_bytes(),
-            (8 + 40) as u64 * 2 + (100 + 40) as u64
-        );
+        assert_eq!(s.total_bytes(), (8 + 40) as u64 * 2 + (100 + 40) as u64);
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 

@@ -93,8 +93,7 @@ enum Step {
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0usize..NPROCS).prop_map(Step::Close),
-        (0usize..NPROCS, 0usize..NPROCS)
-            .prop_map(|(p, from)| Step::Acquire { p, from }),
+        (0usize..NPROCS, 0usize..NPROCS).prop_map(|(p, from)| Step::Acquire { p, from }),
     ]
 }
 

@@ -59,10 +59,19 @@ fn main() {
     println!("processors          : {}", report.nprocs);
     println!("virtual time        : {}", report.time);
     println!("messages            : {}", report.net.total_messages());
-    println!("data on the wire    : {:.2} KB", report.net.total_bytes() as f64 / 1e3);
+    println!(
+        "data on the wire    : {:.2} KB",
+        report.net.total_bytes() as f64 / 1e3
+    );
     println!("ownership requests  : {}", report.net.ownership_requests());
-    println!("twins / diffs made  : {} / {}", report.proto.twins_created, report.proto.diffs_created);
-    println!("pages ending in SW  : {} of {}", report.final_sw_pages, report.touched_pages);
+    println!(
+        "twins / diffs made  : {} / {}",
+        report.proto.twins_created, report.proto.diffs_created
+    );
+    println!(
+        "pages ending in SW  : {} of {}",
+        report.final_sw_pages, report.touched_pages
+    );
 
     // The final coherent image is available for inspection.
     let v = outcome.read_vec(&data);

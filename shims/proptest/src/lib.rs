@@ -1,0 +1,212 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! shim implements the slice of the proptest API the test suites use:
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, integer-range and tuple strategies, [`Just`],
+//! `any::<T>()`, `prop::collection::vec`, `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from real proptest: inputs are generated from a
+//! deterministic per-test RNG (seeded from the test name, overridable
+//! with `PROPTEST_SEED`), and failing cases are **not shrunk** — the
+//! failing input is reported as-is via the panic message of the
+//! underlying `assert!`.
+
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Runner configuration. Only `cases` is honoured; the struct accepts
+/// functional-update syntax (`..ProptestConfig::default()`) for source
+/// compatibility.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+    /// Accepted for source compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Deterministic RNG driving input generation (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (stable across runs), or from the
+    /// `PROPTEST_SEED` environment variable when set.
+    pub fn from_name(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(0xadb5_eed5),
+            Err(_) => name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            }),
+        };
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// `prop::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRng};
+}
+
+/// Defines `#[test]` functions checking a property over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![ $( $crate::strategy::boxed($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn combinators_compose(
+            (a, b) in (0usize..4, 10usize..12),
+            c in prop_oneof![Just(1u8), Just(2u8)],
+            d in (0usize..8).prop_flat_map(|n| (Just(n), n..n + 3)),
+            e in (0u64..5).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(a < 4 && (10..12).contains(&b));
+            prop_assert!(c == 1 || c == 2);
+            prop_assert!(d.1 >= d.0 && d.1 < d.0 + 3);
+            prop_assert_eq!(e % 2, 0);
+            prop_assert_ne!(e, 11);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let gen = |name: &str| {
+            let mut rng = TestRng::from_name(name);
+            Strategy::generate(&prop::collection::vec(any::<u64>(), 8), &mut rng)
+        };
+        assert_eq!(gen("a"), gen("a"));
+        assert_ne!(gen("a"), gen("b"));
+    }
+}

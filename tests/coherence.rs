@@ -276,10 +276,12 @@ fn fixed_program_is_schedule_independent_across_seeds() {
     let (want_mem, want_counter) = expected(&epochs);
     for protocol in ALL_PROTOCOLS {
         for seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
-            let (mem, counter) =
-                run_program_fuzzed(protocol, epochs.clone(), Some(seed));
+            let (mem, counter) = run_program_fuzzed(protocol, epochs.clone(), Some(seed));
             assert_eq!(mem, want_mem, "{protocol} seed {seed}: memory differs");
-            assert_eq!(counter, want_counter, "{protocol} seed {seed}: counter differs");
+            assert_eq!(
+                counter, want_counter,
+                "{protocol} seed {seed}: counter differs"
+            );
         }
     }
 }

@@ -76,8 +76,7 @@ fn every_app_is_correct_under_lazy_mw_diffing() {
         assert!(lazy.ok, "{app} under lazy MW: {}", lazy.detail);
         let eager = run_app(app, ProtocolKind::Mw, nprocs, Scale::Tiny);
         assert!(
-            lazy.outcome.report.proto.diffs_created
-                <= eager.outcome.report.proto.diffs_created,
+            lazy.outcome.report.proto.diffs_created <= eager.outcome.report.proto.diffs_created,
             "{app}: lazy must never create more diffs than eager ({} vs {})",
             lazy.outcome.report.proto.diffs_created,
             eager.outcome.report.proto.diffs_created

@@ -33,7 +33,10 @@ fn adaptive_memory_never_exceeds_mw_on_unshared_apps() {
         let m = mw.outcome.report.proto.storage_bytes_created();
         let f = wfs.outcome.report.proto.storage_bytes_created();
         let g = wg.outcome.report.proto.storage_bytes_created();
-        assert_eq!(f, 0, "{app}: WFS must not twin or diff without false sharing");
+        assert_eq!(
+            f, 0,
+            "{app}: WFS must not twin or diff without false sharing"
+        );
         assert!(g <= m, "{app}: WFS+WG ({g}) must not exceed MW ({m})");
     }
 }
