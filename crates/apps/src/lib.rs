@@ -223,6 +223,10 @@ pub struct RunOptions {
     pub schedule_fuzz: Option<u64>,
     /// Diff creation strategy (lazy is MW-only, as in TreadMarks).
     pub diff_strategy: adsm_core::DiffStrategy,
+    /// Record host wall-clock histograms of the protocol hot paths
+    /// (`validate_page`, barrier fan-in) into the run report; used by
+    /// `repro bench-throughput`.
+    pub measure_host_costs: bool,
 }
 
 impl RunOptions {
@@ -239,6 +243,7 @@ impl RunOptions {
             b = b.schedule_fuzz(seed);
         }
         b = b.diff_strategy(self.diff_strategy);
+        b = b.measure_host_costs(self.measure_host_costs);
         b
     }
 }

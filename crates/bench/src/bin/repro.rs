@@ -3,11 +3,18 @@
 //!
 //! ```text
 //! repro [targets] [--scale tiny|small|paper] [--nprocs N] [--apps a,b,..]
+//!       [--smoke] [--check]
 //!
 //! targets: table1 table2 table3 table4 fig1 fig2 fig3 all  (default: all)
 //!          related ablation-quantum ablation-wg ablation-gc
 //!          ablation-migratory ablations
-//!          bench-hotpaths  (also writes BENCH_hotpaths.json)
+//!          bench-hotpaths    (also writes BENCH_hotpaths.json)
+//!          bench-throughput  (also writes BENCH_throughput.json)
+//!
+//! --smoke  bench-throughput at tiny scale / 4 procs (CI-budget run)
+//! --check  fail (exit 1) when a benchmark regresses past the seed
+//!          floors (sparse encode speedup, allocs/interval, fetch-path
+//!          clones, merge speedup, pool copy ratio)
 //! ```
 
 use std::process::ExitCode;
@@ -24,6 +31,8 @@ struct Options {
     scale: Scale,
     nprocs: usize,
     apps: Vec<App>,
+    smoke: bool,
+    check: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,9 +40,13 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::Small;
     let mut nprocs = 8usize;
     let mut apps: Vec<App> = App::ALL.to_vec();
+    let mut smoke = false;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
             "--scale" => {
                 scale = match args.next().as_deref() {
                     Some("tiny") => Scale::Tiny,
@@ -65,8 +78,10 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: repro [table1 table2 table3 table4 fig1 fig2 fig3 all]\n\
                      \x20      [related ablation-quantum ablation-wg ablation-gc\n\
-                     \x20       ablation-migratory ablations bench-hotpaths]\n\
-                     \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]"
+                     \x20       ablation-migratory ablations bench-hotpaths\n\
+                     \x20       bench-throughput]\n\
+                     \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]\n\
+                     \x20      [--smoke] [--check]"
                 );
                 std::process::exit(0);
             }
@@ -74,6 +89,7 @@ fn parse_args() -> Result<Options, String> {
                 || t.starts_with("fig")
                 || t.starts_with("ablation")
                 || t == "bench-hotpaths"
+                || t == "bench-throughput"
                 || t == "related"
                 || t == "sensitivity"
                 || t == "scaling"
@@ -93,7 +109,68 @@ fn parse_args() -> Result<Options, String> {
         scale,
         nprocs,
         apps,
+        smoke,
+        check,
     })
+}
+
+/// Seed-derived floors for `--check`: the BENCH_hotpaths.json values
+/// the repo must not regress past. Encoded with slack (CI machines are
+/// noisy and heterogeneous) below the committed seed numbers: sparse
+/// encode ≈4.2×, merge-at-4 ≥2× by acceptance, pool copy ratio ≤1.2,
+/// and the two exact invariants (zero steady-state allocations, zero
+/// fetch-path clones).
+mod seed_floors {
+    /// Seed ≈4.2× with 25% CI slack.
+    pub const SPARSE_SPEEDUP_MIN: f64 = 3.15;
+    /// Acceptance floor for the k-way merge at 4 pending diffs.
+    pub const MERGE4_SPEEDUP_MIN: f64 = 2.0;
+    /// Pooled copy must stay within this factor of a raw heap to_vec,
+    /// with CI slack over the 1.2 acceptance band.
+    pub const POOL_COPY_RATIO_MAX: f64 = 1.5;
+    /// Exact: steady state allocates nothing.
+    pub const ALLOCS_PER_INTERVAL_MAX: f64 = 0.0;
+}
+
+/// Applies the `--check` regression gate to a fresh hotpaths report.
+/// Returns the failures (empty = pass).
+fn check_hotpaths(report: &adsm_bench::HotpathReport) -> Vec<String> {
+    let mut fails = Vec::new();
+    if report.sparse_speedup() < seed_floors::SPARSE_SPEEDUP_MIN {
+        fails.push(format!(
+            "sparse encode speedup {:.2} < seed floor {:.2}",
+            report.sparse_speedup(),
+            seed_floors::SPARSE_SPEEDUP_MIN
+        ));
+    }
+    if report.allocs_per_interval > seed_floors::ALLOCS_PER_INTERVAL_MAX {
+        fails.push(format!(
+            "steady-state allocs/interval {:.4} > {:.1}",
+            report.allocs_per_interval,
+            seed_floors::ALLOCS_PER_INTERVAL_MAX
+        ));
+    }
+    if report.merge4_speedup() < seed_floors::MERGE4_SPEEDUP_MIN {
+        fails.push(format!(
+            "validate merge speedup {:.2} < floor {:.2}",
+            report.merge4_speedup(),
+            seed_floors::MERGE4_SPEEDUP_MIN
+        ));
+    }
+    if report.pool_copy_ratio() > seed_floors::POOL_COPY_RATIO_MAX {
+        fails.push(format!(
+            "pool copy ratio {:.2} > ceiling {:.2}",
+            report.pool_copy_ratio(),
+            seed_floors::POOL_COPY_RATIO_MAX
+        ));
+    }
+    if report.fetch_clones > 0 {
+        fails.push(format!(
+            "{} deep diff clones on the fetch path (must be 0)",
+            report.fetch_clones
+        ));
+    }
+    fails
 }
 
 fn main() -> ExitCode {
@@ -122,19 +199,67 @@ fn main() -> ExitCode {
     // Explicit-only (not part of "all"): the baseline file must not be
     // clobbered by an incidental table regeneration on a loaded box.
     if opts.targets.iter().any(|t| t == "bench-hotpaths") {
-        eprintln!("measuring hot paths (encode/apply/pool/pick)...");
+        eprintln!("measuring hot paths (encode/apply/merge/pool/pick)...");
         let report = adsm_bench::measure_hotpaths();
         let json = report.to_json();
         println!("{json}");
         println!(
             "\nsparse encode speedup (chunked vs naive): {:.2}x, \
+             merge@4 speedup (k-way vs clone+apply): {:.2}x, \
              steady-state allocs/interval: {:.4}",
             report.sparse_speedup(),
+            report.merge4_speedup(),
             report.allocs_per_interval
         );
         match std::fs::write("BENCH_hotpaths.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_hotpaths.json"),
             Err(e) => eprintln!("could not write BENCH_hotpaths.json: {e}"),
+        }
+        if opts.check {
+            let fails = check_hotpaths(&report);
+            if !fails.is_empty() {
+                for f in &fails {
+                    eprintln!("REGRESSION: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            eprintln!("hotpaths regression gate: pass");
+        }
+    }
+
+    // End-to-end throughput matrix: every app under the four evaluated
+    // protocols, in simulated-events-per-wall-second terms, plus
+    // validate_page percentiles and barrier fan-in cost. `--smoke`
+    // shrinks it to the CI budget (tiny inputs, 4 procs).
+    if opts.targets.iter().any(|t| t == "bench-throughput") {
+        let (scale, nprocs) = if opts.smoke {
+            (Scale::Tiny, 4)
+        } else {
+            (opts.scale, opts.nprocs)
+        };
+        eprintln!(
+            "measuring end-to-end throughput ({} apps x 4 protocols, {scale} scale, \
+             {nprocs} procs)...",
+            opts.apps.len()
+        );
+        let report = adsm_bench::throughput::measure_throughput_filtered(nprocs, scale, &opts.apps);
+        println!("{}", adsm_bench::throughput::summary_table(&report));
+        let json = report.to_json();
+        match std::fs::write("BENCH_throughput.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_throughput.json"),
+            Err(e) => eprintln!("could not write BENCH_throughput.json: {e}"),
+        }
+        if opts.check {
+            let clones: u64 = report.rows.iter().map(|r| r.diff_fetch_clones).sum();
+            let skips: u64 = report.rows.iter().map(|r| r.missing_diff_skips).sum();
+            if clones > 0 || skips > 0 {
+                eprintln!(
+                    "REGRESSION: fetch-path clones {clones}, missing-diff skips {skips} \
+                     (both must be 0)"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("throughput invariant gate: pass");
         }
     }
 

@@ -47,6 +47,32 @@ pub fn dirty_page(dirty: usize) -> (Vec<u8>, Vec<u8>) {
     (twin, cur)
 }
 
+/// A happened-before chain of `k` diffs over one page, shaped like the
+/// paper's §3.2 diff-accumulation pattern — the input the merge
+/// procedure sees when a reader validates a page that successive
+/// intervals kept rewriting: every interval rewrites a contested
+/// half-page band (so the later diff wins every contested word) plus a
+/// small private stripe. Returns the diffs in happened-before order
+/// together with the base page and the expected merge result.
+pub fn pending_diff_chain(k: usize) -> (Vec<Diff>, Vec<u8>, Vec<u8>) {
+    let mut page = vec![0u8; PAGE_SIZE];
+    let base = page.clone();
+    let mut diffs = Vec::with_capacity(k);
+    let contested = PAGE_SIZE / 2;
+    let stripe = (PAGE_SIZE / 2) / k.max(1);
+    for i in 0..k {
+        let mut next = page.clone();
+        // The accumulation band every interval rewrites.
+        next[..contested].fill(i as u8 + 1);
+        // This interval's private stripe.
+        let own = contested + i * stripe;
+        next[own..own + stripe].fill(0x40 + i as u8);
+        diffs.push(Diff::encode(&page, &next));
+        page = next;
+    }
+    (diffs, base, page)
+}
+
 /// Measured hot-path numbers (all ns/op unless noted).
 pub struct HotpathReport {
     pub encode_sparse_chunked: f64,
@@ -61,6 +87,16 @@ pub struct HotpathReport {
     pub pick_det_8: f64,
     pub pick_det_64: f64,
     pub pick_fuzz_8: f64,
+    /// Merge cost of a validate_page with 4 pending diffs, old fetch
+    /// pipeline (deep clone per diff + sequential apply) …
+    pub validate_merge4_seq: f64,
+    /// … vs the clone-free k-way merge (`Diff::apply_many`).
+    pub validate_merge4_merge: f64,
+    /// Deep diff copies on the fetch path of a real MW run (target: 0).
+    pub fetch_clones: u64,
+    /// Shared-handle diff fetches in the same run (sanity: > 0, the
+    /// merge path was actually exercised).
+    pub diffs_fetched: u64,
     /// SOR steady state: fresh pool allocations per extra simulated
     /// interval (the acceptance target is exactly 0).
     pub allocs_per_interval: f64,
@@ -73,6 +109,18 @@ impl HotpathReport {
     /// sparse (8 dirty words) page.
     pub fn sparse_speedup(&self) -> f64 {
         self.encode_sparse_naive / self.encode_sparse_chunked
+    }
+
+    /// Speedup of the one-pass k-way merge over the clone-and-apply
+    /// pipeline at 4 pending diffs.
+    pub fn merge4_speedup(&self) -> f64 {
+        self.validate_merge4_seq / self.validate_merge4_merge
+    }
+
+    /// Pooled page copy cost relative to a raw heap `to_vec` (the
+    /// acceptance band is ≤ 1.2).
+    pub fn pool_copy_ratio(&self) -> f64 {
+        self.pool_get_copy / self.vec_to_vec
     }
 
     /// Renders the report as a JSON document.
@@ -114,9 +162,26 @@ impl HotpathReport {
             self.apply_onto_sparse
         );
         let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"validate\": {{");
+        let _ = writeln!(s, "    \"pending_diffs\": 4,");
+        let _ = writeln!(
+            s,
+            "    \"merge4_sequential_ns\": {:.1},",
+            self.validate_merge4_seq
+        );
+        let _ = writeln!(
+            s,
+            "    \"merge4_apply_many_ns\": {:.1},",
+            self.validate_merge4_merge
+        );
+        let _ = writeln!(s, "    \"merge4_speedup\": {:.2},", self.merge4_speedup());
+        let _ = writeln!(s, "    \"fetch_clones\": {},", self.fetch_clones);
+        let _ = writeln!(s, "    \"diffs_fetched\": {}", self.diffs_fetched);
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"pool\": {{");
         let _ = writeln!(s, "    \"get_copy_ns\": {:.1},", self.pool_get_copy);
-        let _ = writeln!(s, "    \"heap_to_vec_ns\": {:.1}", self.vec_to_vec);
+        let _ = writeln!(s, "    \"heap_to_vec_ns\": {:.1},", self.vec_to_vec);
+        let _ = writeln!(s, "    \"copy_ratio\": {:.2}", self.pool_copy_ratio());
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"sched_pick\": {{");
         let _ = writeln!(s, "    \"det_8_tasks_ns\": {:.1},", self.pick_det_8);
@@ -214,6 +279,27 @@ pub fn measure_hotpaths() -> HotpathReport {
         diff.apply_onto(&stwin, std::hint::black_box(&mut onto));
     });
 
+    // The merge procedure at 4 pending diffs: the old fetch pipeline
+    // paid a deep Diff clone per notice and one apply pass per diff;
+    // the new path fetches shared handles and resolves every word in a
+    // single k-way merge pass.
+    let (chain, merge_base, merge_expect) = pending_diff_chain(4);
+    let mut merge_page = merge_base.clone();
+    let validate_merge4_seq = time_ns(|| {
+        merge_page.copy_from_slice(&merge_base);
+        for d in &chain {
+            let fetched = d.clone(); // the old per-notice deep copy
+            fetched.apply(std::hint::black_box(&mut merge_page));
+        }
+    });
+    assert_eq!(merge_page, merge_expect, "sequential merge reference");
+    let chain_refs: Vec<&Diff> = chain.iter().collect();
+    let validate_merge4_merge = time_ns(|| {
+        merge_page.copy_from_slice(&merge_base);
+        Diff::apply_many(&chain_refs, std::hint::black_box(&mut merge_page));
+    });
+    assert_eq!(merge_page, merge_expect, "k-way merge result");
+
     let pool = PagePool::new();
     let pool_get_copy = time_ns(|| {
         std::hint::black_box(pool.get_copy(&scur));
@@ -235,6 +321,10 @@ pub fn measure_hotpaths() -> HotpathReport {
 
     let short = sor_run(SOR_SHORT_ITERS);
     let long = sor_run(SOR_LONG_ITERS);
+    // The fetch path of a real MW run: diffs must flow to validations as
+    // shared handles only.
+    let fetch_clones = long.proto.diff_fetch_clones;
+    let diffs_fetched = long.proto.diffs_fetched;
     // One interval close per processor per barrier.
     let steady_intervals =
         ((SOR_LONG_ITERS - SOR_SHORT_ITERS) * SOR_BARRIERS_PER_ITER * SOR_NPROCS) as u64;
@@ -261,6 +351,10 @@ pub fn measure_hotpaths() -> HotpathReport {
         pick_det_8,
         pick_det_64,
         pick_fuzz_8,
+        validate_merge4_seq,
+        validate_merge4_merge,
+        fetch_clones,
+        diffs_fetched,
         allocs_per_interval,
         steady_intervals,
         steady_reuse_delta,
@@ -280,6 +374,23 @@ mod tests {
     }
 
     #[test]
+    fn pending_diff_chain_merges_to_the_final_page() {
+        let (chain, base, expect) = pending_diff_chain(4);
+        assert_eq!(chain.len(), 4);
+        // Overlap: every diff after the first rewrites the common band.
+        assert!(chain[0].overlaps(&chain[1]));
+        let mut seq = base.clone();
+        for d in &chain {
+            d.apply(&mut seq);
+        }
+        assert_eq!(seq, expect);
+        let refs: Vec<&Diff> = chain.iter().collect();
+        let mut merged = base.clone();
+        Diff::apply_many(&refs, &mut merged);
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let r = HotpathReport {
             encode_sparse_chunked: 100.0,
@@ -294,14 +405,22 @@ mod tests {
             pick_det_8: 1.0,
             pick_det_64: 1.0,
             pick_fuzz_8: 1.0,
+            validate_merge4_seq: 300.0,
+            validate_merge4_merge: 100.0,
+            fetch_clones: 0,
+            diffs_fetched: 12,
             allocs_per_interval: 0.0,
             steady_intervals: 48,
             steady_reuse_delta: 10,
         };
         assert!((r.sparse_speedup() - 4.0).abs() < 1e-9);
+        assert!((r.merge4_speedup() - 3.0).abs() < 1e-9);
+        assert!((r.pool_copy_ratio() - 1.0).abs() < 1e-9);
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"sparse_speedup\": 4.00"));
+        assert!(json.contains("\"merge4_speedup\": 3.00"));
+        assert!(json.contains("\"fetch_clones\": 0"));
         assert!(json.contains("\"allocs_per_interval\": 0.0000"));
     }
 }

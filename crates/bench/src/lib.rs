@@ -21,12 +21,14 @@ use adsm_core::{ProtocolKind, SimTime};
 
 mod ablation;
 pub mod hotpaths;
+pub mod throughput;
 
 pub use ablation::{
     ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_quantum,
     ablation_wg, related, scaling, sensitivity,
 };
 pub use hotpaths::{measure_hotpaths, HotpathReport};
+pub use throughput::{measure_throughput, ThroughputReport};
 
 /// The four protocols in the paper's presentation order (Fig. 2).
 pub const PROTOCOLS: [ProtocolKind; 4] = ProtocolKind::EVALUATED;

@@ -1,0 +1,268 @@
+//! End-to-end simulator throughput: every evaluation application under
+//! every evaluated protocol, measured in **host** terms — simulated
+//! protocol events per wall-clock second, `validate_page` cost
+//! percentiles, and barrier fan-in cost — and emitted as
+//! `BENCH_throughput.json`.
+//!
+//! The hot-path microbenchmarks (`BENCH_hotpaths.json`) time leaf
+//! operations in isolation; this macro benchmark is the regression
+//! baseline they cannot provide: it exercises the merge procedure, the
+//! diff store, the page pool and the scheduler together, under the
+//! paper's real workloads, so a change that speeds a leaf but slows the
+//! composition is caught.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use adsm_apps::{run_app_tuned, App, RunOptions, Scale};
+use adsm_core::{ProtocolKind, RunReport};
+
+/// The protocol configurations swept per application: the four
+/// protocols of the paper's Figure 2.
+pub const THROUGHPUT_PROTOCOLS: [ProtocolKind; 4] = ProtocolKind::EVALUATED;
+
+/// One `(app, protocol)` cell of the throughput matrix.
+pub struct ThroughputRow {
+    pub app: App,
+    pub proto: ProtocolKind,
+    /// Host wall-clock of the verified run, milliseconds. Includes the
+    /// app's sequential verification pass — deterministic per (app,
+    /// scale), so the number stays comparable across PRs.
+    pub wall_ms: f64,
+    /// Simulated protocol events processed: faults + messages + diffs
+    /// created and applied.
+    pub sim_events: u64,
+    /// `sim_events` per host wall-clock second.
+    pub events_per_sec: f64,
+    /// `validate_page` host-cost percentiles (ns) and call count.
+    pub validate_p50_ns: u64,
+    pub validate_p90_ns: u64,
+    pub validate_p99_ns: u64,
+    pub validate_mean_ns: f64,
+    pub validate_calls: u64,
+    /// Barrier fan-in host cost (ns, mean over episodes) and episode
+    /// count (zero for lock-only apps).
+    pub barrier_mean_ns: f64,
+    pub barrier_episodes: u64,
+    /// Deep diff copies on the validation fetch path (must stay 0).
+    pub diff_fetch_clones: u64,
+    /// Diffs handed to the merge procedure as shared handles.
+    pub diffs_fetched: u64,
+    /// Pending notices whose diff was missing (must stay 0).
+    pub missing_diff_skips: u64,
+}
+
+/// The simulated protocol events a run processed: the denominator-free
+/// measure of how much coherence work the simulator got through.
+fn sim_events(report: &RunReport) -> u64 {
+    report.net.total_messages()
+        + report.proto.read_faults
+        + report.proto.write_faults
+        + report.proto.diffs_created
+        + report.proto.diffs_applied
+}
+
+/// The full matrix plus the settings that produced it.
+pub struct ThroughputReport {
+    pub nprocs: usize,
+    pub scale: Scale,
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl ThroughputReport {
+    /// Aggregate events/sec across the whole matrix (total events over
+    /// total wall time): the single headline number.
+    pub fn total_events_per_sec(&self) -> f64 {
+        let events: u64 = self.rows.iter().map(|r| r.sim_events).sum();
+        let wall_ms: f64 = self.rows.iter().map(|r| r.wall_ms).sum();
+        if wall_ms <= 0.0 {
+            0.0
+        } else {
+            events as f64 * 1e3 / wall_ms
+        }
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"throughput\",");
+        let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(s, "  \"nprocs\": {},", self.nprocs);
+        let _ = writeln!(
+            s,
+            "  \"total_events_per_sec\": {:.0},",
+            self.total_events_per_sec()
+        );
+        let _ = writeln!(s, "  \"apps\": {{");
+        let apps: Vec<App> = App::ALL
+            .iter()
+            .copied()
+            .filter(|a| self.rows.iter().any(|r| r.app == *a))
+            .collect();
+        for (ai, app) in apps.iter().enumerate() {
+            let _ = writeln!(s, "    \"{}\": {{", app.name());
+            let rows: Vec<&ThroughputRow> = self.rows.iter().filter(|r| r.app == *app).collect();
+            for (pi, row) in rows.iter().enumerate() {
+                let _ = writeln!(s, "      \"{}\": {{", row.proto.name());
+                let _ = writeln!(s, "        \"wall_ms\": {:.1},", row.wall_ms);
+                let _ = writeln!(s, "        \"sim_events\": {},", row.sim_events);
+                let _ = writeln!(s, "        \"events_per_sec\": {:.0},", row.events_per_sec);
+                let _ = writeln!(s, "        \"validate_calls\": {},", row.validate_calls);
+                let _ = writeln!(s, "        \"validate_p50_ns\": {},", row.validate_p50_ns);
+                let _ = writeln!(s, "        \"validate_p90_ns\": {},", row.validate_p90_ns);
+                let _ = writeln!(s, "        \"validate_p99_ns\": {},", row.validate_p99_ns);
+                let _ = writeln!(
+                    s,
+                    "        \"validate_mean_ns\": {:.0},",
+                    row.validate_mean_ns
+                );
+                let _ = writeln!(s, "        \"barrier_episodes\": {},", row.barrier_episodes);
+                let _ = writeln!(
+                    s,
+                    "        \"barrier_fanin_mean_ns\": {:.0},",
+                    row.barrier_mean_ns
+                );
+                let _ = writeln!(s, "        \"diffs_fetched\": {},", row.diffs_fetched);
+                let _ = writeln!(
+                    s,
+                    "        \"diff_fetch_clones\": {},",
+                    row.diff_fetch_clones
+                );
+                let _ = writeln!(
+                    s,
+                    "        \"missing_diff_skips\": {}",
+                    row.missing_diff_skips
+                );
+                let trail = if pi + 1 == rows.len() { "" } else { "," };
+                let _ = writeln!(s, "      }}{trail}");
+            }
+            let trail = if ai + 1 == apps.len() { "" } else { "," };
+            let _ = writeln!(s, "    }}{trail}");
+        }
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+/// Runs the full matrix: all eight applications under the four
+/// evaluated protocols at the given scale. Every run is verified
+/// against the app's sequential reference; a verification failure
+/// panics (a wrong simulator has no meaningful throughput).
+pub fn measure_throughput(nprocs: usize, scale: Scale) -> ThroughputReport {
+    measure_throughput_filtered(nprocs, scale, &App::ALL)
+}
+
+/// As [`measure_throughput`] over a subset of the applications.
+pub fn measure_throughput_filtered(nprocs: usize, scale: Scale, apps: &[App]) -> ThroughputReport {
+    let opts = RunOptions {
+        measure_host_costs: true,
+        ..RunOptions::default()
+    };
+    let mut rows = Vec::new();
+    for &app in apps {
+        for proto in THROUGHPUT_PROTOCOLS {
+            eprintln!("  [throughput] {app} {proto}...");
+            let t0 = Instant::now();
+            let run = run_app_tuned(app, proto, nprocs, scale, &opts);
+            let wall = t0.elapsed();
+            assert!(run.ok, "{app} under {proto} failed: {}", run.detail);
+            let report = &run.outcome.report;
+            let events = sim_events(report);
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let vw = &report.proto.validate_wall;
+            let bw = &report.proto.barrier_wall;
+            rows.push(ThroughputRow {
+                app,
+                proto,
+                wall_ms,
+                sim_events: events,
+                events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+                validate_p50_ns: vw.percentile_ns(0.50),
+                validate_p90_ns: vw.percentile_ns(0.90),
+                validate_p99_ns: vw.percentile_ns(0.99),
+                validate_mean_ns: vw.mean_ns(),
+                validate_calls: vw.count(),
+                barrier_mean_ns: bw.mean_ns(),
+                barrier_episodes: bw.count(),
+                diff_fetch_clones: report.proto.diff_fetch_clones,
+                diffs_fetched: report.proto.diffs_fetched,
+                missing_diff_skips: report.proto.missing_diff_skips,
+            });
+        }
+    }
+    ThroughputReport {
+        nprocs,
+        scale,
+        rows,
+    }
+}
+
+/// Renders a human-readable summary table next to the JSON.
+pub fn summary_table(r: &ThroughputReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Throughput — sim events per wall second ({} scale, {} procs)",
+        r.scale, r.nprocs
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>9} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "App", "Proto", "wall ms", "events", "events/s", "val p50", "val p99", "val n"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<7} {:>9.1} {:>12} {:>12.0} {:>10} {:>10} {:>9}",
+            row.app.name(),
+            row.proto.name(),
+            row.wall_ms,
+            row.sim_events,
+            row.events_per_sec,
+            row.validate_p50_ns,
+            row.validate_p99_ns,
+            row.validate_calls,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {:.0} events/s; fetch-path deep clones: {} (must be 0)",
+        r.total_events_per_sec(),
+        r.rows.iter().map(|x| x.diff_fetch_clones).sum::<u64>()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_measures_and_renders() {
+        let r = measure_throughput_filtered(2, Scale::Tiny, &[App::Sor]);
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            assert!(row.sim_events > 0);
+            assert!(row.events_per_sec > 0.0);
+            assert_eq!(row.diff_fetch_clones, 0, "{} {}", row.app, row.proto);
+            assert_eq!(row.missing_diff_skips, 0);
+        }
+        // SOR under MW fetches diffs at barriers; the merge procedure
+        // must have been measured.
+        let mw = r
+            .rows
+            .iter()
+            .find(|x| x.proto == ProtocolKind::Mw)
+            .expect("MW row");
+        assert!(mw.validate_calls > 0);
+        assert!(mw.diffs_fetched > 0);
+        assert!(mw.barrier_episodes > 0);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"SOR\""));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(summary_table(&r).contains("SOR"));
+    }
+}

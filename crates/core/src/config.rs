@@ -180,6 +180,12 @@ pub struct DsmConfig {
     pub schedule_fuzz: Option<u64>,
     /// Diff creation strategy ([`DiffStrategy::Lazy`] is MW-only).
     pub diff_strategy: DiffStrategy,
+    /// Measure host wall-clock costs of the protocol hot paths
+    /// (`validate_page`, barrier fan-in) into the run report's
+    /// [`NsHistogram`](crate::metrics::NsHistogram)s. Off by default:
+    /// the timestamps cost ~50 ns per measured call, which `repro
+    /// bench-throughput` accepts and ordinary runs should not pay.
+    pub measure_host_costs: bool,
 }
 
 impl DsmConfig {
@@ -194,6 +200,7 @@ impl DsmConfig {
             home_policy: HomePolicy::default(),
             schedule_fuzz: None,
             diff_strategy: DiffStrategy::default(),
+            measure_host_costs: false,
         }
     }
 }

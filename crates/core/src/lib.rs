@@ -74,7 +74,7 @@ mod world;
 
 pub use config::{DiffStrategy, DsmConfig, HomePolicy, ProtocolKind};
 pub use memio::SharedVec;
-pub use metrics::{ProtocolStats, RunReport};
+pub use metrics::{NsHistogram, ProtocolStats, RunReport};
 pub use proc::Proc;
 pub use profile::{GrainClass, ProfileSummary};
 pub use system::{Dsm, DsmBuilder, RunError, RunOutcome};

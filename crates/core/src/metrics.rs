@@ -62,6 +62,28 @@ pub struct ProtocolStats {
     pub pool_pages_created: u64,
     /// Page buffers the page pool served by recycling (pool hits).
     pub pool_pages_reused: u64,
+    /// Diffs handed to the merge procedure by the per-page diff store
+    /// (every one a shared `Arc` handle).
+    pub diffs_fetched: u64,
+    /// Deep `Diff` copies made on the validation fetch path. The
+    /// `Arc`-backed store never copies, so this stays **zero**; the
+    /// counter exists as the regression tripwire for that invariant.
+    pub diff_fetch_clones: u64,
+    /// Pending write notices whose diff was absent from the writer's
+    /// store at validation time. A protocol invariant violation
+    /// (`debug_assert`ed in debug builds); release builds skip the
+    /// notice and count it here so fuzzed schedules fail diagnosably
+    /// instead of panicking mid-merge.
+    pub missing_diff_skips: u64,
+    /// Host wall-clock cost of `validate_page` calls (the paper's merge
+    /// procedure). Only populated when
+    /// [`measure_host_costs`](crate::DsmBuilder::measure_host_costs) is
+    /// on; drives the percentiles in `repro bench-throughput`.
+    pub validate_wall: NsHistogram,
+    /// Host wall-clock cost of barrier completion (fan-in: global
+    /// notice integration, adaptation mechanism 3, GC). Gated like
+    /// `validate_wall`.
+    pub barrier_wall: NsHistogram,
 }
 
 impl ProtocolStats {
@@ -111,6 +133,93 @@ impl ProtocolStats {
         if alive > self.peak_storage_bytes {
             self.peak_storage_bytes = alive;
         }
+    }
+}
+
+/// A log-scaled histogram of nanosecond samples: 8 sub-buckets per
+/// octave (≈12.5% value resolution), exact below 16 ns. Fixed memory,
+/// no allocation per sample — cheap enough to sit on a hot path behind
+/// a config flag.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NsHistogram {
+    /// Bucket counts, grown on demand (index ≈ log₂ with 3 mantissa
+    /// bits; see [`NsHistogram::bucket`]).
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl NsHistogram {
+    /// Bucket index for a sample: identity below 16, then
+    /// `16 + 8·(exp−4) + top-3-mantissa-bits`.
+    fn bucket(ns: u64) -> usize {
+        if ns < 16 {
+            return ns as usize;
+        }
+        let exp = 63 - ns.leading_zeros() as usize;
+        let frac = ((ns >> (exp - 3)) & 0b111) as usize;
+        16 + (exp - 4) * 8 + frac
+    }
+
+    /// Upper-bound nanosecond value represented by bucket `i` (the
+    /// value reported for percentiles landing in the bucket).
+    fn bucket_value(i: usize) -> u64 {
+        if i < 16 {
+            return i as u64;
+        }
+        let exp = (i - 16) / 8 + 4;
+        let frac = ((i - 16) % 8) as u64;
+        // Start of the bucket plus one sub-bucket width.
+        ((8 + frac + 1) << exp) / 8
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        let b = Self::bucket(ns);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The value at quantile `q` in [0, 1], to bucket resolution
+    /// (≈12.5%). Returns 0 when empty.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
     }
 }
 
@@ -198,6 +307,36 @@ mod tests {
         assert_eq!(s.diffs_alive, 0);
         assert_eq!(s.diff_bytes_alive, 0);
         assert_eq!(s.storage_bytes_created(), 150);
+    }
+
+    #[test]
+    fn ns_histogram_percentiles() {
+        let mut h = NsHistogram::default();
+        assert_eq!(h.percentile_ns(0.5), 0);
+        for ns in 1..=1000u64 {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean_ns() - 500.5).abs() < 1e-9);
+        assert_eq!(h.max_ns(), 1000);
+        // Bucket resolution is ~12.5%: accept that much slack.
+        let p50 = h.percentile_ns(0.5) as f64;
+        assert!((440.0..=580.0).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile_ns(0.99) as f64;
+        assert!((870.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(h.percentile_ns(1.0), 1000);
+    }
+
+    #[test]
+    fn ns_histogram_is_exact_for_tiny_samples() {
+        let mut h = NsHistogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(15);
+        assert_eq!(h.percentile_ns(0.26), 3);
+        assert_eq!(h.percentile_ns(0.75), 3);
+        assert_eq!(h.percentile_ns(1.0), 15);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
         let pgidx = page.index();
         // Writers: processors holding diffs for the page.
         let writers: Vec<ProcId> = (0..nprocs)
-            .filter(|&q| !ctx.w.procs[q].diffs.pages().iter().all(|&pg| pg != page))
+            .filter(|&q| ctx.w.procs[q].diffs.has_page(page))
             .map(ProcId::new)
             .collect();
 

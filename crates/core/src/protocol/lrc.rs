@@ -452,12 +452,22 @@ pub(crate) fn serve_page_bytes(
 
 /// Sort key yielding a linear extension of happened-before-1 (proved
 /// valid for clocks arising from real executions: domination implies a
-/// strictly larger component sum).
+/// strictly larger component sum). Computed **once per fetched diff**
+/// and carried next to it — the clock-component sum must never be paid
+/// per sort comparison.
 fn apply_key(w: &World, id: IntervalId) -> (u64, usize, u32) {
     let vc = w.vc_of(id);
     let sum: u64 = vc.iter().map(|(_, s)| s as u64).sum();
     (sum, id.proc.index(), id.seq)
 }
+
+/// A diff queued for application: precomputed happened-before sort key,
+/// source interval, and a shared handle into the writer's store.
+type KeyedDiff = (
+    (u64, usize, u32),
+    IntervalId,
+    std::sync::Arc<adsm_mempage::Diff>,
+);
 
 /// Validates `p`'s copy of `page`: the general merge procedure of
 /// §3.1.1. Fetches a whole page from the highest-version owner notice if
@@ -467,6 +477,17 @@ fn apply_key(w: &World, id: IntervalId) -> (u64, usize, u32) {
 /// modifications. Leaves the page readable (writable if an open write
 /// session was preserved).
 pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
+    let t0 = ctx.w.cfg.measure_host_costs.then(std::time::Instant::now);
+    validate_page_inner(ctx, p, page);
+    if let Some(t0) = t0 {
+        ctx.w
+            .proto
+            .validate_wall
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+}
+
+fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let cost_model = ctx.w.cfg.cost.clone();
     let pidx = p.index();
     let pgidx = page.index();
@@ -534,14 +555,16 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     // 3. Fetch the remaining diffs, grouped by writer, requests issued in
     //    parallel (elapsed time = slowest writer, messages counted per
-    //    writer).
+    //    writer). Every fetched diff is a shared handle into the
+    //    writer's per-page store — a refcount bump, never a deep copy
+    //    (`diff_fetch_clones` pins that at zero).
     let mut writers: Vec<ProcId> = keep.iter().map(|n| n.interval.proc).collect();
     writers.sort_unstable();
     writers.dedup();
     let my_mode_sw = ctx.w.procs[pidx].pages[pgidx].mode == PageMode::Sw;
     let mut remote_writers = 0u64;
     let mut total_reply_bytes = 0usize;
-    let mut to_apply: Vec<(IntervalId, adsm_mempage::Diff)> = Vec::new();
+    let mut to_apply: Vec<KeyedDiff> = Vec::with_capacity(keep.len());
     for q in writers {
         // Lazy diffing: the writer encodes its retained twin on demand.
         let mcost = materialize_pending(ctx.w, ctx.mems, q, page);
@@ -554,11 +577,25 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         }
         let mut reply_bytes = 0usize;
         for n in keep.iter().filter(|n| n.interval.proc == q) {
-            let diff = ctx.w.procs[q.index()].diffs.get(page, n.interval).cloned();
-            let diff =
-                diff.unwrap_or_else(|| panic!("missing diff for {page} {} at {q}", n.interval));
-            reply_bytes += diff.wire_size();
-            to_apply.push((n.interval, diff));
+            match ctx.w.procs[q.index()].diffs.get(page, n.interval) {
+                Some(diff) => {
+                    let diff = std::sync::Arc::clone(diff);
+                    ctx.w.proto.diffs_fetched += 1;
+                    reply_bytes += diff.wire_size();
+                    to_apply.push((apply_key(ctx.w, n.interval), n.interval, diff));
+                }
+                None => {
+                    // Every surviving pending notice must have a stored
+                    // diff at its writer — a violated protocol
+                    // invariant, not a user error. Debug builds stop
+                    // here; release builds skip the notice and count
+                    // it, so fuzzed schedules fail diagnosably (the
+                    // counter reaches the run report) instead of
+                    // panicking mid-merge.
+                    debug_assert!(false, "missing diff for {page} {} at {q}", n.interval);
+                    ctx.w.proto.missing_diff_skips += 1;
+                }
+            }
         }
         if q != p {
             ctx.w.msg(MsgKind::DiffRequest, CTRL_BYTES, p, q);
@@ -586,22 +623,32 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         ctx.charge(fixed + SimTime::from_ns(cost_model.per_byte_ns * bytes));
     }
 
-    // 4. Apply in a linear extension of happened-before-1.
-    to_apply.sort_by_key(|(id, _)| apply_key(ctx.w, *id));
+    // 4. Apply in a linear extension of happened-before-1, resolved in
+    //    **one pass** over the page: the k-way merge writes each word
+    //    once however many diffs are pending. The keys were computed at
+    //    fetch time, so the sort compares plain tuples.
+    to_apply.sort_unstable_by_key(|(key, _, _)| *key);
+    let diff_refs: Vec<&adsm_mempage::Diff> = to_apply.iter().map(|(_, _, d)| &**d).collect();
     let mut apply_cost = SimTime::ZERO;
     {
         let mut mem = ctx.mems[pidx].lock();
-        for (iv, diff) in &to_apply {
-            let before = super::trace_word::watched().map(|_| mem.page(page).to_vec());
-            diff.apply(mem.page_mut(page));
-            if let Some(b) = before {
+        if super::trace_word::watched().is_some() {
+            // Watch mode: the sequential reference path, whose per-diff
+            // granularity the change log needs.
+            for (_, iv, diff) in &to_apply {
+                let before = mem.page(page).to_vec();
+                diff.apply(mem.page_mut(page));
                 super::trace_word::log_change(
                     &format!("apply {iv} at {p}"),
                     page,
-                    &b,
+                    &before,
                     mem.page(page),
                 );
             }
+        } else if !diff_refs.is_empty() {
+            adsm_mempage::Diff::apply_many(&diff_refs, mem.page_mut(page));
+        }
+        for (_, _, diff) in &to_apply {
             apply_cost += cost_model.diff_apply(diff.modified_bytes());
             ctx.w.proto.diffs_applied += 1;
         }
@@ -625,8 +672,8 @@ pub(crate) fn validate_page(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
                     .twin
                     .take()
                     .expect("delta implies twin");
-                for (_, diff) in &to_apply {
-                    diff.apply(&mut twin);
+                if !diff_refs.is_empty() {
+                    adsm_mempage::Diff::apply_many(&diff_refs, &mut twin);
                 }
                 ctx.w.procs[pidx].pages[pgidx].twin = Some(twin);
             }

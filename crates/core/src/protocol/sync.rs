@@ -163,6 +163,7 @@ pub(crate) fn barrier_arrive(ctx: &mut Ctx<'_>, p: ProcId) -> BarrierOutcome {
     }
 
     // --- Completion (this processor arrived last) ---
+    let wall0 = ctx.w.cfg.measure_host_costs.then(std::time::Instant::now);
     let t0 = ctx
         .w
         .barrier
@@ -217,6 +218,14 @@ pub(crate) fn barrier_arrive(ctx: &mut Ctx<'_>, p: ProcId) -> BarrierOutcome {
     ctx.w.barrier.episodes += 1;
     ctx.w.barrier.last_release_vc = global_vc;
     ctx.w.trace_event(completion, TraceKind::Barrier);
+    if let Some(wall0) = wall0 {
+        // Host cost of the fan-in: global integration, mechanism 3, GC
+        // and the release broadcast, per barrier episode.
+        ctx.w
+            .proto
+            .barrier_wall
+            .record(wall0.elapsed().as_nanos() as u64);
+    }
     BarrierOutcome::Completed
 }
 

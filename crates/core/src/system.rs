@@ -164,6 +164,16 @@ impl DsmBuilder {
         self
     }
 
+    /// Measures host wall-clock costs of the protocol hot paths
+    /// (`validate_page`, barrier fan-in) into the run report's
+    /// histograms ([`ProtocolStats::validate_wall`] and
+    /// [`ProtocolStats::barrier_wall`](crate::ProtocolStats)). Off by
+    /// default; `repro bench-throughput` turns it on.
+    pub fn measure_host_costs(mut self, on: bool) -> Self {
+        self.cfg.measure_host_costs = on;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Dsm {
         Dsm {

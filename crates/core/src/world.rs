@@ -9,6 +9,7 @@
 //! still charged the messages the real protocol would send.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use adsm_mempage::{Diff, PageBuf, PageId, PagePool};
 use adsm_netsim::{MsgKind, NetStats, SimTime, Trace};
@@ -131,11 +132,33 @@ impl PageGlobal {
     }
 }
 
-/// Store of the diffs a processor has created (keyed by page and the
-/// interval whose modifications the diff records).
+/// One page's stored diffs: interval-sorted `(IntervalId, Arc<Diff>)`
+/// entries. Interval counts per page are small (bounded by the GC
+/// threshold), so a sorted `Vec` beats any tree: `get` is one binary
+/// search over a contiguous array, `insert` one bounded `memmove`.
+#[derive(Clone, Debug, Default)]
+struct PageDiffs {
+    entries: Vec<(IntervalId, Arc<Diff>)>,
+}
+
+/// Store of the diffs a processor has created, held **per page**: the
+/// merge procedure of §3.1.1 always asks "the diffs of page P from
+/// intervals i₁..iₖ", so the store is a `Vec<PageDiffs>` indexed by
+/// `PageId` rather than one global map keyed by `(page, interval)`.
+/// Diffs are stored behind `Arc`, which is what makes the validation
+/// fetch path clone-free: handing a diff to the merge is a refcount
+/// bump, never a copy of runs and data
+/// (`ProtocolStats::diff_fetch_clones` pins this at zero).
 #[derive(Clone, Debug, Default)]
 pub(crate) struct DiffStore {
-    map: BTreeMap<(PageId, IntervalId), Diff>,
+    /// Per-page entries, grown on demand to the highest inserted page.
+    by_page: Vec<PageDiffs>,
+    /// Pages currently holding at least one diff, maintained
+    /// incrementally on first insert (gc used to pay an allocation and
+    /// a sort per interval to recover this set from the global map).
+    pages: Vec<PageId>,
+    /// Stored diff count.
+    count: u64,
     /// Total wire bytes of stored diffs.
     pub bytes: u64,
 }
@@ -143,26 +166,61 @@ pub(crate) struct DiffStore {
 impl DiffStore {
     pub fn insert(&mut self, page: PageId, interval: IntervalId, diff: Diff) {
         self.bytes += diff.wire_size() as u64;
-        let prev = self.map.insert((page, interval), diff);
-        debug_assert!(prev.is_none(), "diff created twice for {page} {interval}");
+        self.count += 1;
+        if self.by_page.len() <= page.index() {
+            self.by_page
+                .resize_with(page.index() + 1, PageDiffs::default);
+        }
+        let pd = &mut self.by_page[page.index()];
+        if pd.entries.is_empty() {
+            self.pages.push(page);
+        }
+        match pd.entries.binary_search_by_key(&interval, |(iv, _)| *iv) {
+            Ok(pos) => {
+                debug_assert!(false, "diff created twice for {page} {interval}");
+                // Violated invariant in a release build: keep the
+                // replace semantics with exact accounting rather than
+                // silently dropping the new diff and its bytes.
+                self.bytes -= pd.entries[pos].1.wire_size() as u64;
+                self.count -= 1;
+                pd.entries[pos].1 = Arc::new(diff);
+            }
+            Err(pos) => pd.entries.insert(pos, (interval, Arc::new(diff))),
+        }
     }
 
-    pub fn get(&self, page: PageId, interval: IntervalId) -> Option<&Diff> {
-        self.map.get(&(page, interval))
+    /// The stored diff for `(page, interval)`, as a shared handle the
+    /// caller can retain across the merge without copying the diff.
+    pub fn get(&self, page: PageId, interval: IntervalId) -> Option<&Arc<Diff>> {
+        let pd = self.by_page.get(page.index())?;
+        let pos = pd
+            .entries
+            .binary_search_by_key(&interval, |(iv, _)| *iv)
+            .ok()?;
+        Some(&pd.entries[pos].1)
     }
 
-    /// Pages with at least one stored diff, deduplicated, in order.
-    pub fn pages(&self) -> Vec<PageId> {
-        let mut pages: Vec<PageId> = self.map.keys().map(|(pg, _)| *pg).collect();
-        pages.dedup();
-        pages
+    /// Does the store hold at least one diff for `page`?
+    pub fn has_page(&self, page: PageId) -> bool {
+        self.by_page
+            .get(page.index())
+            .is_some_and(|pd| !pd.entries.is_empty())
+    }
+
+    /// Pages with at least one stored diff (no allocation; unordered —
+    /// each page appears exactly once).
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages.iter().copied()
     }
 
     /// Discards everything; returns (count, bytes) removed.
     pub fn clear(&mut self) -> (u64, u64) {
-        let n = self.map.len() as u64;
+        let n = self.count;
         let b = self.bytes;
-        self.map.clear();
+        for page in self.pages.drain(..) {
+            self.by_page[page.index()].entries.clear();
+        }
+        self.count = 0;
         self.bytes = 0;
         (n, b)
     }
@@ -417,9 +475,33 @@ mod tests {
         assert_eq!(store.bytes, wire);
         assert!(store.get(PageId::new(0), id).is_some());
         assert!(store.get(PageId::new(1), id).is_none());
+        assert!(store.has_page(PageId::new(0)));
+        assert!(!store.has_page(PageId::new(1)));
+        assert_eq!(store.pages().collect::<Vec<_>>(), vec![PageId::new(0)]);
         let (n, b) = store.clear();
         assert_eq!((n, b), (1, wire));
-        assert!(store.pages().is_empty());
+        assert_eq!(store.pages().next(), None);
+        assert!(!store.has_page(PageId::new(0)));
+    }
+
+    #[test]
+    fn diff_store_fetch_is_a_shared_handle() {
+        use std::sync::Arc;
+        let mut store = DiffStore::default();
+        let twin = vec![0u8; adsm_mempage::PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[8] = 3;
+        let page = PageId::new(2);
+        let i1 = IntervalId::new(ProcId::new(1), 1);
+        let i2 = IntervalId::new(ProcId::new(1), 2);
+        store.insert(page, i2, Diff::encode(&twin, &cur));
+        store.insert(page, i1, Diff::encode(&twin, &twin.clone()));
+        // Fetch clones the Arc, not the Diff.
+        let h = store.get(page, i2).expect("stored").clone();
+        assert_eq!(Arc::strong_count(&h), 2);
+        assert_eq!(h.modified_bytes(), 4);
+        // Interval-sorted within the page: both retrievable.
+        assert!(store.get(page, i1).expect("stored").is_empty());
     }
 
     #[test]

@@ -305,6 +305,97 @@ impl Diff {
         self.apply(out);
     }
 
+    /// Applies several diffs in one k-way merge pass: byte-for-byte
+    /// equivalent to calling [`Diff::apply`] for each diff in slice
+    /// order, but every page word is written **at most once**.
+    ///
+    /// The slice order is the happened-before order of the merge
+    /// procedure (§3.1.1): where two diffs modify the same word, the
+    /// later diff's value is the one that survives a sequential apply,
+    /// so the merge resolves each word to the last covering diff —
+    /// last-writer-wins per word is exactly sequential application.
+    /// Runs within a diff are offset-sorted by construction, which is
+    /// what lets the merge advance one cursor per diff instead of
+    /// re-scanning.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page` is exactly one page long.
+    pub fn apply_many(diffs: &[&Diff], page: &mut [u8]) {
+        assert_eq!(page.len(), PAGE_SIZE, "target must be one page");
+        match diffs {
+            [] => return,
+            [d] => return d.apply(page),
+            _ => {}
+        }
+        // One cursor per diff: the current run and its data offset.
+        struct Cursor<'a> {
+            runs: &'a [Run],
+            data: &'a [u8],
+            idx: usize,
+            data_off: usize,
+        }
+        let mut cursors: Vec<Cursor<'_>> = diffs
+            .iter()
+            .map(|d| Cursor {
+                runs: &d.runs,
+                data: &d.data,
+                idx: 0,
+                data_off: 0,
+            })
+            .collect();
+        // Sweep the page in maximal segments over which the set of
+        // covering runs is constant. `pos` is the first unresolved word.
+        let mut pos = 0usize;
+        loop {
+            // Retire runs that end at or before `pos` and find the next
+            // segment start: the smallest not-yet-applied run word.
+            let mut seg_start = usize::MAX;
+            for c in cursors.iter_mut() {
+                while let Some(r) = c.runs.get(c.idx) {
+                    if r.word_offset as usize + r.len_words as usize <= pos {
+                        c.data_off += r.len_bytes();
+                        c.idx += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(r) = c.runs.get(c.idx) {
+                    seg_start = seg_start.min((r.word_offset as usize).max(pos));
+                }
+            }
+            if seg_start == usize::MAX {
+                break; // every cursor exhausted
+            }
+            // The segment ends where any covering run ends or any later
+            // run begins; among the runs covering `seg_start`, the diff
+            // latest in the slice wins the whole segment.
+            let mut seg_end = WORDS_PER_PAGE;
+            let mut winner = usize::MAX;
+            for (i, c) in cursors.iter().enumerate() {
+                let Some(r) = c.runs.get(c.idx) else { continue };
+                let start = r.word_offset as usize;
+                let end = start + r.len_words as usize;
+                if start <= seg_start {
+                    // Covers the segment (end > seg_start holds: a run
+                    // ending at or before seg_start would have had an
+                    // effective start below the minimum).
+                    seg_end = seg_end.min(end);
+                    winner = i;
+                } else {
+                    seg_end = seg_end.min(start);
+                }
+            }
+            let c = &cursors[winner];
+            let r = c.runs[c.idx];
+            let src = c.data_off + (seg_start - r.word_offset as usize) * WORD_SIZE;
+            let dst = seg_start * WORD_SIZE;
+            let len = (seg_end - seg_start) * WORD_SIZE;
+            page[dst..dst + len].copy_from_slice(&c.data[src..src + len]);
+            pos = seg_end;
+        }
+    }
+
     /// `true` when the twin and the page were identical.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
@@ -508,6 +599,88 @@ mod tests {
         // And an empty diff clears everything.
         Diff::encode_into(&twin, &twin.clone(), &mut d);
         assert!(d.is_empty());
+    }
+
+    /// Applies `diffs` one by one — the reference semantics apply_many
+    /// must reproduce.
+    fn apply_seq(diffs: &[&Diff], page: &mut [u8]) {
+        for d in diffs {
+            d.apply(page);
+        }
+    }
+
+    #[test]
+    fn apply_many_of_nothing_is_identity() {
+        let mut page = page_with(&[(3, 9)]);
+        let orig = page.clone();
+        Diff::apply_many(&[], &mut page);
+        assert_eq!(page, orig);
+        let empty = Diff::default();
+        Diff::apply_many(&[&empty, &empty], &mut page);
+        assert_eq!(page, orig);
+    }
+
+    #[test]
+    fn apply_many_single_matches_apply() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(0, 1), (100, 2)]);
+        let d = Diff::encode(&twin, &cur);
+        let mut a = twin.clone();
+        let mut b = twin.clone();
+        d.apply(&mut a);
+        Diff::apply_many(&[&d], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_many_disjoint_diffs_union() {
+        let twin = page_with(&[]);
+        let a = Diff::encode(&twin, &page_with(&[(0, 1)]));
+        let b = Diff::encode(&twin, &page_with(&[(400, 2)]));
+        let mut merged = twin.clone();
+        Diff::apply_many(&[&a, &b], &mut merged);
+        assert_eq!(merged, page_with(&[(0, 1), (400, 2)]));
+    }
+
+    #[test]
+    fn apply_many_last_writer_wins_on_overlap() {
+        let twin = page_with(&[]);
+        // Both diffs write word 0; runs extend differently.
+        let a = Diff::encode(&twin, &page_with(&[(0, 1), (4, 1), (8, 1)]));
+        let b = Diff::encode(&twin, &page_with(&[(0, 2)]));
+        let mut merged = twin.clone();
+        Diff::apply_many(&[&a, &b], &mut merged);
+        let mut expect = twin.clone();
+        apply_seq(&[&a, &b], &mut expect);
+        assert_eq!(merged, expect);
+        assert_eq!(merged[0], 2, "later diff wins word 0");
+        assert_eq!(merged[4], 1, "earlier diff keeps its exclusive words");
+        // And the reverse order flips the winner.
+        let mut merged = twin.clone();
+        Diff::apply_many(&[&b, &a], &mut merged);
+        assert_eq!(merged[0], 1);
+    }
+
+    #[test]
+    fn apply_many_runs_crossing_each_other() {
+        let twin = vec![0u8; PAGE_SIZE];
+        // a: words 0..6 = 0xA; b: words 3..9 = 0xB; c: word 5 = 0xC.
+        let mut pa = twin.clone();
+        pa[0..24].fill(0xA);
+        let mut pb = twin.clone();
+        pb[12..36].fill(0xB);
+        let mut pc = twin.clone();
+        pc[20..24].fill(0xC);
+        let a = Diff::encode(&twin, &pa);
+        let b = Diff::encode(&twin, &pb);
+        let c = Diff::encode(&twin, &pc);
+        for order in [[&a, &b, &c], [&c, &b, &a], [&b, &a, &c]] {
+            let mut merged = page_with(&[(1000, 7)]);
+            let mut expect = merged.clone();
+            Diff::apply_many(&order, &mut merged);
+            apply_seq(&order, &mut expect);
+            assert_eq!(merged, expect);
+        }
     }
 
     #[test]

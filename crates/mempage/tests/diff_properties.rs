@@ -114,6 +114,74 @@ proptest! {
         prop_assert_eq!(out, cur_b);
     }
 
+    /// `apply_many` over a random happened-before chain — each page
+    /// derived from the previous by random edits, each diff encoded
+    /// against its predecessor — is byte-for-byte the sequential apply,
+    /// and lands on the chain's final page.
+    #[test]
+    fn apply_many_matches_sequential_over_chains(
+        base in page_strategy(),
+        edit_sets in prop::collection::vec(
+            prop::collection::vec((0usize..PAGE_SIZE, any::<u8>()), 0..48),
+            0..6,
+        ),
+    ) {
+        let mut pages = vec![base.clone()];
+        let mut diffs = Vec::new();
+        for edits in &edit_sets {
+            let mut next = pages.last().expect("nonempty").clone();
+            for &(i, v) in edits {
+                next[i] = v;
+            }
+            diffs.push(Diff::encode(pages.last().expect("nonempty"), &next));
+            pages.push(next);
+        }
+        let refs: Vec<&Diff> = diffs.iter().collect();
+        let mut seq = base.clone();
+        for d in &refs {
+            d.apply(&mut seq);
+        }
+        let mut merged = base.clone();
+        Diff::apply_many(&refs, &mut merged);
+        prop_assert_eq!(&merged, &seq);
+        prop_assert_eq!(&merged, pages.last().expect("nonempty"));
+    }
+
+    /// `apply_many` equals sequential apply for *arbitrary* diff lists
+    /// on an arbitrary canvas: overlapping runs, empty diffs, repeated
+    /// diffs — last writer wins per word either way.
+    #[test]
+    fn apply_many_matches_sequential_on_any_canvas(
+        canvas in page_strategy(),
+        sources in prop::collection::vec(
+            (page_strategy(), page_strategy()),
+            0..5,
+        ),
+        include_empty in any::<bool>(),
+    ) {
+        let mut diffs: Vec<Diff> = sources
+            .iter()
+            .map(|(twin, cur)| Diff::encode(twin, cur))
+            .collect();
+        if include_empty {
+            diffs.insert(diffs.len() / 2, Diff::default());
+        }
+        // Re-apply the first diff at the end too (the merge procedure's
+        // own-delta case: a processor's old diff rides behind foreign
+        // ones).
+        if let Some(first) = diffs.first().cloned() {
+            diffs.push(first);
+        }
+        let refs: Vec<&Diff> = diffs.iter().collect();
+        let mut seq = canvas.clone();
+        for d in &refs {
+            d.apply(&mut seq);
+        }
+        let mut merged = canvas.clone();
+        Diff::apply_many(&refs, &mut merged);
+        prop_assert_eq!(merged, seq);
+    }
+
     /// Applying two diffs with disjoint word sets commutes.
     #[test]
     fn disjoint_diffs_commute(
