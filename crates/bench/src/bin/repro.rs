@@ -7,7 +7,7 @@
 //!
 //! targets: table1 table2 table3 table4 fig1 fig2 fig3 all  (default: all)
 //!          related ablation-quantum ablation-wg ablation-gc
-//!          ablation-migratory ablations
+//!          ablation-migratory ablation-policies ablations
 //!          bench-hotpaths    (also writes BENCH_hotpaths.json)
 //!          bench-throughput  (also writes BENCH_throughput.json)
 //!
@@ -21,9 +21,9 @@ use std::process::ExitCode;
 
 use adsm_apps::{App, Scale};
 use adsm_bench::{
-    ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_quantum,
-    ablation_wg, fig1, fig2, fig2_shape_checks, fig3, related, scaling, sensitivity, table1,
-    table2, table3, table4, Matrix,
+    ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_policies,
+    ablation_quantum, ablation_wg, fig1, fig2, fig2_shape_checks, fig3, related, scaling,
+    sensitivity, table1, table2, table3, table4, Matrix,
 };
 
 struct Options {
@@ -78,7 +78,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: repro [table1 table2 table3 table4 fig1 fig2 fig3 all]\n\
                      \x20      [related ablation-quantum ablation-wg ablation-gc\n\
-                     \x20       ablation-migratory ablations bench-hotpaths\n\
+                     \x20       ablation-migratory ablation-policies ablations\n\
+                     \x20       bench-hotpaths\n\
                      \x20       bench-throughput]\n\
                      \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]\n\
                      \x20      [--smoke] [--check]"
@@ -238,7 +239,7 @@ fn main() -> ExitCode {
             (opts.scale, opts.nprocs)
         };
         eprintln!(
-            "measuring end-to-end throughput ({} apps x 4 protocols, {scale} scale, \
+            "measuring end-to-end throughput ({} apps x 5 protocols, {scale} scale, \
              {nprocs} procs)...",
             opts.apps.len()
         );
@@ -252,10 +253,11 @@ fn main() -> ExitCode {
         if opts.check {
             let clones: u64 = report.rows.iter().map(|r| r.diff_fetch_clones).sum();
             let skips: u64 = report.rows.iter().map(|r| r.missing_diff_skips).sum();
-            if clones > 0 || skips > 0 {
+            let ship_clones: u64 = report.rows.iter().map(|r| r.notice_ship_clones).sum();
+            if clones > 0 || skips > 0 || ship_clones > 0 {
                 eprintln!(
-                    "REGRESSION: fetch-path clones {clones}, missing-diff skips {skips} \
-                     (both must be 0)"
+                    "REGRESSION: fetch-path clones {clones}, missing-diff skips {skips}, \
+                     notice-ship clones {ship_clones} (all must be 0)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -285,6 +287,10 @@ fn main() -> ExitCode {
             "{}",
             ablation_migratory(opts.nprocs, opts.scale, &opts.apps)
         );
+    }
+    if wants_sweep("ablation-policies") {
+        eprintln!("running adaptation-policy sweep...");
+        println!("{}", ablation_policies(opts.nprocs, opts.scale, &opts.apps));
     }
     if wants_sweep("ablation-network") {
         eprintln!("running network-bandwidth sweep...");

@@ -24,8 +24,8 @@ pub mod hotpaths;
 pub mod throughput;
 
 pub use ablation::{
-    ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_quantum,
-    ablation_wg, related, scaling, sensitivity,
+    ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_policies,
+    ablation_quantum, ablation_wg, related, scaling, sensitivity,
 };
 pub use hotpaths::{measure_hotpaths, HotpathReport};
 pub use throughput::{measure_throughput, ThroughputReport};

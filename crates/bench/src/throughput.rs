@@ -18,8 +18,16 @@ use adsm_apps::{run_app_tuned, App, RunOptions, Scale};
 use adsm_core::{ProtocolKind, RunReport};
 
 /// The protocol configurations swept per application: the four
-/// protocols of the paper's Figure 2.
-pub const THROUGHPUT_PROTOCOLS: [ProtocolKind; 4] = ProtocolKind::EVALUATED;
+/// protocols of the paper's Figure 2 plus the SC comparator, whose
+/// fault handling carries the same host-cost instrumentation as the
+/// LRC merge path.
+pub const THROUGHPUT_PROTOCOLS: [ProtocolKind; 5] = [
+    ProtocolKind::Mw,
+    ProtocolKind::WfsWg,
+    ProtocolKind::Wfs,
+    ProtocolKind::Sw,
+    ProtocolKind::Sc,
+];
 
 /// One `(app, protocol)` cell of the throughput matrix.
 pub struct ThroughputRow {
@@ -50,6 +58,10 @@ pub struct ThroughputRow {
     pub diffs_fetched: u64,
     /// Pending notices whose diff was missing (must stay 0).
     pub missing_diff_skips: u64,
+    /// Deep copies of write-notice lists on the notice-ship path (must
+    /// stay 0: shipping is refcount bumps into the shared interval
+    /// log).
+    pub notice_ship_clones: u64,
 }
 
 /// The simulated protocol events a run processed: the denominator-free
@@ -131,8 +143,13 @@ impl ThroughputReport {
                 );
                 let _ = writeln!(
                     s,
-                    "        \"missing_diff_skips\": {}",
+                    "        \"missing_diff_skips\": {},",
                     row.missing_diff_skips
+                );
+                let _ = writeln!(
+                    s,
+                    "        \"notice_ship_clones\": {}",
+                    row.notice_ship_clones
                 );
                 let trail = if pi + 1 == rows.len() { "" } else { "," };
                 let _ = writeln!(s, "      }}{trail}");
@@ -189,6 +206,7 @@ pub fn measure_throughput_filtered(nprocs: usize, scale: Scale, apps: &[App]) ->
                 diff_fetch_clones: report.proto.diff_fetch_clones,
                 diffs_fetched: report.proto.diffs_fetched,
                 missing_diff_skips: report.proto.missing_diff_skips,
+                notice_ship_clones: report.proto.notice_ship_clones,
             });
         }
     }
@@ -228,9 +246,11 @@ pub fn summary_table(r: &ThroughputReport) -> String {
     }
     let _ = writeln!(
         out,
-        "total: {:.0} events/s; fetch-path deep clones: {} (must be 0)",
+        "total: {:.0} events/s; fetch-path deep clones: {}, notice-ship deep clones: {} \
+         (both must be 0)",
         r.total_events_per_sec(),
-        r.rows.iter().map(|x| x.diff_fetch_clones).sum::<u64>()
+        r.rows.iter().map(|x| x.diff_fetch_clones).sum::<u64>(),
+        r.rows.iter().map(|x| x.notice_ship_clones).sum::<u64>()
     );
     out
 }
@@ -242,13 +262,22 @@ mod tests {
     #[test]
     fn tiny_matrix_measures_and_renders() {
         let r = measure_throughput_filtered(2, Scale::Tiny, &[App::Sor]);
-        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows.len(), 5);
         for row in &r.rows {
             assert!(row.sim_events > 0);
             assert!(row.events_per_sec > 0.0);
             assert_eq!(row.diff_fetch_clones, 0, "{} {}", row.app, row.proto);
             assert_eq!(row.missing_diff_skips, 0);
+            assert_eq!(row.notice_ship_clones, 0, "{} {}", row.app, row.proto);
         }
+        // The SC comparator's fault handling is instrumented like the
+        // merge path: its row carries wall-cost samples too.
+        let sc = r
+            .rows
+            .iter()
+            .find(|x| x.proto == ProtocolKind::Sc)
+            .expect("SC row");
+        assert!(sc.validate_calls > 0, "SC faults must be measured");
         // SOR under MW fetches diffs at barriers; the merge procedure
         // must have been measured.
         let mw = r

@@ -72,7 +72,7 @@ mod protocol;
 mod system;
 mod world;
 
-pub use config::{DiffStrategy, DsmConfig, HomePolicy, ProtocolKind};
+pub use config::{AdaptPolicyKind, DiffStrategy, DsmConfig, HomePolicy, ProtocolKind};
 pub use memio::SharedVec;
 pub use metrics::{NsHistogram, ProtocolStats, RunReport};
 pub use proc::Proc;

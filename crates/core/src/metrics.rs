@@ -75,6 +75,19 @@ pub struct ProtocolStats {
     /// notice and count it here so fuzzed schedules fail diagnosably
     /// instead of panicking mid-merge.
     pub missing_diff_skips: u64,
+    /// Deep copies of interval write-notice lists made while shipping
+    /// notices (`integrate_from`). The shipping path is structurally
+    /// clone-free — records are read in place from the shared interval
+    /// log — so no code increments this today; like
+    /// [`diff_fetch_clones`](ProtocolStats::diff_fetch_clones) it is
+    /// the ledger any future fallback that must copy a write list is
+    /// required to count itself into, which is what the throughput
+    /// bench's `--check` gate and `allocation_free.rs` then catch.
+    pub notice_ship_clones: u64,
+    /// Merge scratch sets allocated from the heap (`validate_page` pool
+    /// misses). Flat after warm-up: steady-state merges draw their
+    /// delta diff and working lists from the world's scratch pool.
+    pub merge_scratch_created: u64,
     /// Host wall-clock cost of `validate_page` calls (the paper's merge
     /// procedure). Only populated when
     /// [`measure_host_costs`](crate::DsmBuilder::measure_host_costs) is
@@ -258,6 +271,12 @@ pub struct RunReport {
     /// Pages in SW mode on a majority of processors when the run ended
     /// (adaptive protocols; equals all touched pages for SW, none for MW).
     pub final_sw_pages: usize,
+    /// Per-page final adaptation outcome (`true` = touched and SW on a
+    /// majority of processors). `final_sw_pages` is its popcount; the
+    /// static-hint adaptation policy
+    /// ([`AdaptPolicyKind::StaticHint`](crate::AdaptPolicyKind::StaticHint))
+    /// is seeded from a profiling run's map.
+    pub sw_page_map: Vec<bool>,
     /// Pages ever touched by any processor.
     pub touched_pages: usize,
 }

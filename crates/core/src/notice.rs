@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use adsm_mempage::PageId;
 use adsm_vclock::{IntervalId, VectorClock};
@@ -41,23 +42,40 @@ impl fmt::Display for NoticeKind {
     }
 }
 
+/// One write notice as carried in an interval record: the page and the
+/// flavour of the modification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteNotice {
+    /// The page the interval modified.
+    pub page: PageId,
+    /// Owner or non-owner.
+    pub kind: NoticeKind,
+}
+
 /// Record of one closed interval: its timestamp and the pages it wrote.
 ///
-/// A cluster-wide log of these (indexed by processor and 1-based
-/// sequence number) is the canonical representation of the
-/// happened-before-1 history; write-notice propagation ships slices of
-/// the log.
+/// The cluster-wide [`IntervalLog`](crate::world::IntervalLog) of these
+/// (indexed by processor and 1-based sequence number) is the canonical
+/// representation of the happened-before-1 history; write-notice
+/// propagation ships slices of the log. The closing clock and the write
+/// list are **shared** (`Arc`), so shipping a record — the hot inner
+/// loop of every lock grant and barrier release — is a refcount bump,
+/// never a deep copy of the notice list
+/// ([`ProtocolStats::notice_ship_clones`](crate::ProtocolStats::notice_ship_clones)
+/// pins that at zero).
 #[derive(Clone, Debug)]
-pub struct IntervalInfo {
+pub struct IntervalRecord {
     /// Identity of the interval.
     pub id: IntervalId,
     /// Vector timestamp at which the interval closed.
-    pub vc: VectorClock,
+    pub vc: Arc<VectorClock>,
     /// Pages written during the interval, each with its notice kind.
-    pub writes: Vec<(PageId, NoticeKind)>,
+    /// Emptied (swapped for a shared empty slice) by diff garbage
+    /// collection once every processor is provably up to date.
+    pub writes: Arc<[WriteNotice]>,
 }
 
-impl IntervalInfo {
+impl IntervalRecord {
     /// Bytes this interval's notices occupy in a message: interval
     /// header + vector clock + one record per page.
     pub fn wire_size(&self) -> usize {
@@ -103,14 +121,37 @@ mod tests {
     fn interval_wire_size_counts_pages() {
         let mut vc = VectorClock::new(4);
         vc.tick(ProcId::new(1));
-        let info = IntervalInfo {
+        let rec = IntervalRecord {
             id: IntervalId::new(ProcId::new(1), 1),
-            vc,
+            vc: Arc::new(vc),
             writes: vec![
-                (PageId::new(0), NoticeKind::NonOwner),
-                (PageId::new(5), NoticeKind::Owner(2)),
-            ],
+                WriteNotice {
+                    page: PageId::new(0),
+                    kind: NoticeKind::NonOwner,
+                },
+                WriteNotice {
+                    page: PageId::new(5),
+                    kind: NoticeKind::Owner(2),
+                },
+            ]
+            .into(),
         };
-        assert_eq!(info.wire_size(), 8 + 16 + 2 * NOTICE_RECORD_BYTES);
+        assert_eq!(rec.wire_size(), 8 + 16 + 2 * NOTICE_RECORD_BYTES);
+    }
+
+    #[test]
+    fn shipping_a_record_shares_the_write_list() {
+        let rec = IntervalRecord {
+            id: IntervalId::new(ProcId::new(0), 1),
+            vc: Arc::new(VectorClock::new(2)),
+            writes: vec![WriteNotice {
+                page: PageId::new(3),
+                kind: NoticeKind::NonOwner,
+            }]
+            .into(),
+        };
+        let shipped = rec.clone();
+        assert!(Arc::ptr_eq(&rec.writes, &shipped.writes));
+        assert!(Arc::ptr_eq(&rec.vc, &shipped.vc));
     }
 }

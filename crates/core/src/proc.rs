@@ -15,7 +15,7 @@ use adsm_netsim::SimTime;
 use adsm_vclock::ProcId;
 use parking_lot::Mutex;
 
-use crate::protocol::{self, sync, Ctx};
+use crate::protocol::{self, sync, Ctx, Protocol};
 use crate::world::World;
 use crate::ProtocolKind;
 
@@ -27,6 +27,12 @@ pub struct Proc {
     pub(crate) nprocs: usize,
     pub(crate) world: Arc<Mutex<World>>,
     pub(crate) mems: Arc<Vec<Mutex<PagedMemory>>>,
+    /// The run's protocol object (dispatch layer), selected once when
+    /// the cluster is built. Raw included: its no-op synchronisation
+    /// lives in `RawProtocol`, not in per-call-site checks here.
+    pub(crate) proto: &'static dyn Protocol,
+    /// Per-access fast path only (`access_tick` skips the turn point
+    /// under the single-processor Raw baseline).
     pub(crate) raw: bool,
     pub(crate) access_cost: SimTime,
     pub(crate) mem_per_byte_ns: u64,
@@ -73,9 +79,6 @@ impl Proc {
     /// manager is statically `lock_id % nprocs`). Blocks until granted;
     /// the grant carries write notices per LRC.
     pub fn lock(&mut self, lock_id: u64) {
-        if self.raw {
-            return;
-        }
         self.task.yield_turn();
         let must_block = {
             let mut w = self.world.lock();
@@ -84,7 +87,7 @@ impl Proc {
                 mems: &self.mems,
                 task: &mut self.task,
             };
-            sync::acquire(&mut ctx, self.id, lock_id) == sync::AcquireOutcome::MustBlock
+            self.proto.acquire(&mut ctx, self.id, lock_id) == sync::AcquireOutcome::MustBlock
         };
         if must_block {
             // The releaser completes the handshake (notices,
@@ -99,9 +102,6 @@ impl Proc {
     ///
     /// Panics if this processor does not hold the lock.
     pub fn unlock(&mut self, lock_id: u64) {
-        if self.raw {
-            return;
-        }
         self.task.yield_turn();
         let mut w = self.world.lock();
         let mut ctx = Ctx {
@@ -109,7 +109,7 @@ impl Proc {
             mems: &self.mems,
             task: &mut self.task,
         };
-        sync::release(&mut ctx, self.id, lock_id);
+        self.proto.release(&mut ctx, self.id, lock_id);
     }
 
     /// Waits until every processor reaches the barrier. Barrier
@@ -117,9 +117,6 @@ impl Proc {
     /// protocols' barrier-time detection, and performs diff garbage
     /// collection when requested.
     pub fn barrier(&mut self) {
-        if self.raw {
-            return;
-        }
         self.task.yield_turn();
         let must_block = {
             let mut w = self.world.lock();
@@ -128,7 +125,7 @@ impl Proc {
                 mems: &self.mems,
                 task: &mut self.task,
             };
-            sync::barrier_arrive(&mut ctx, self.id) == sync::BarrierOutcome::MustBlock
+            self.proto.barrier(&mut ctx, self.id) == sync::BarrierOutcome::MustBlock
         };
         if must_block {
             self.task.block();
@@ -195,8 +192,8 @@ impl Proc {
             task: &mut self.task,
         };
         match fault.kind {
-            FaultKind::Read => protocol::read_fault(&mut ctx, self.id, fault.page),
-            FaultKind::Write => protocol::write_fault(&mut ctx, self.id, fault.page),
+            FaultKind::Read => protocol::read_fault(&mut ctx, self.proto, self.id, fault.page),
+            FaultKind::Write => protocol::write_fault(&mut ctx, self.proto, self.id, fault.page),
         }
     }
 

@@ -22,7 +22,6 @@ use adsm_vclock::ProcId;
 use super::lrc::{self, Ctx, CTRL_BYTES};
 use super::{mw, sw};
 use crate::world::{Hvn, PageMode};
-use crate::ProtocolKind;
 
 /// Adaptive write fault: dispatch on the page's local mode.
 pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
@@ -39,7 +38,7 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 /// request, and the subsequent write is a free local fault.
 pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pgidx = page.index();
-    if ctx.w.cfg.migratory_opt && migratory_grant_eligible(ctx, p, page) {
+    if migratory_grant_eligible(ctx, p, page) {
         migrate_on_read(ctx, p, page);
     } else {
         lrc::validate_page(ctx, p, page);
@@ -47,14 +46,21 @@ pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     ctx.w.pages[pgidx].last_read_faulter = Some(p);
 }
 
-/// A migratory read-grant applies when the pattern is established
-/// (score >= 2), the requester's perceived owner matches the
-/// authoritative directory (otherwise the exchange would be refused),
-/// and both sides handle the page in SW mode.
+/// A migratory read-grant applies when the policy judges the pattern
+/// established (enabled + score, see `AdaptPolicy::migratory_grant_ok`),
+/// the requester's perceived owner matches the authoritative directory
+/// (otherwise the exchange would be refused), and both sides handle the
+/// page in SW mode.
 fn migratory_grant_eligible(ctx: &Ctx<'_>, p: ProcId, page: PageId) -> bool {
     let pg = &ctx.w.pages[page.index()];
     let pc = &ctx.w.procs[p.index()].pages[page.index()];
-    if pg.migratory_score < 2 || pc.mode != PageMode::Sw || pg.drop_pending {
+    if !ctx
+        .w
+        .policy
+        .migratory_grant_ok(ctx.w.cfg.migratory_opt, pg.migratory_score)
+        || pc.mode != PageMode::Sw
+        || pg.drop_pending
+    {
         return false;
     }
     match (pg.owner, pc.hvn) {
@@ -124,6 +130,7 @@ fn sw_mode_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         // have heard nothing newer — the local version check fails, which
         // is the ownership-refusal signal without any messages.
         ctx.w.proto.ownership_refusals += 1;
+        ctx.w.policy.note_refusal(pgidx);
         switch_to_mw_after_refusal(ctx, p, page, None);
         return;
     }
@@ -143,10 +150,10 @@ fn sw_mode_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         && ctx.w.procs[q.index()].pages[pgidx].has_copy
         && ctx.w.procs[q.index()].pages[pgidx].missing.is_empty()
         && ctx.w.procs[q.index()].pages[pgidx].twin.is_none();
-    // WFS+WG: ownership is only granted once the page's measured write
-    // granularity argues for SW handling; otherwise refuse so the page
-    // is handled (and measured) in MW mode (§3.3).
-    let wg_ok = ctx.w.cfg.protocol != ProtocolKind::WfsWg || ctx.w.pages[pgidx].wants_sw;
+    // Policy gate (WFS+WG's write-granularity test, §3.3): ownership is
+    // only granted while the policy judges the page worth SW handling;
+    // otherwise refuse so the page is handled (and measured) in MW mode.
+    let wg_ok = ctx.w.policy.grant_sw_ok(pgidx, ctx.w.pages[pgidx].wants_sw);
 
     let granted = version_ok && wg_ok && (target_is_owner || can_bootstrap);
 
@@ -249,6 +256,7 @@ fn refuse_ownership(
     ctx.charge(c_req + cost_model.service_interrupt + c_reply);
     ctx.interrupt(q);
     ctx.w.proto.ownership_refusals += 1;
+    ctx.w.policy.note_refusal(page.index());
 
     if target_still_owner {
         // A refusal invalidates any migratory prediction for the page.

@@ -25,7 +25,7 @@ use crate::world::{Hvn, PageMode};
 /// intervals are closed and every processor is up to date on notices.
 pub(crate) fn collect(ctx: &mut Ctx<'_>) {
     let nprocs = ctx.w.nprocs();
-    let adaptive = ctx.w.cfg.protocol.is_adaptive();
+    let adaptive = ctx.w.policy.adapts();
     ctx.w.proto.gc_runs += 1;
 
     // Coordination traffic: manager tells everyone to collect, everyone
@@ -54,7 +54,12 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
             .map(ProcId::new)
             .collect();
 
-        let validators: Vec<ProcId> = if adaptive {
+        // Per-page exit mode: the policy decides whether the page
+        // leaves GC under SW handling (the adaptive default) or takes
+        // the pure-MW treatment (fixed-mode runs, MW-pinned hints,
+        // pages inside a hysteresis window).
+        let exit_sw = adaptive && ctx.w.policy.gc_exit_to_sw(pgidx);
+        let validators: Vec<ProcId> = if exit_sw {
             vec![choose_last_owner(ctx, page, &writers)]
         } else {
             writers.clone()
@@ -81,15 +86,15 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
             ctx.mems[q].lock().set_rights(page, AccessRights::None);
         }
 
-        if !adaptive {
-            // Pure MW: ownership is vestigial (only ever used to locate
-            // an initial copy). The nominal owner's copy may just have
-            // been deleted, so future initial fetches must locate an
-            // actual copy holder.
+        if !exit_sw {
+            // Pure-MW treatment: ownership is vestigial (only ever used
+            // to locate an initial copy). The nominal owner's copy may
+            // just have been deleted, so future initial fetches must
+            // locate an actual copy holder.
             ctx.w.pages[pgidx].owner = None;
         }
 
-        if adaptive {
+        if exit_sw {
             // The page leaves GC under SW handling: the validator is the
             // last owner; future misses fetch its copy (§3.1.1).
             let owner = validators[0];
@@ -120,12 +125,10 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
     // Discard all diffs and prune notice history: everyone is up to
     // date, so interval write lists can be emptied (their vector clocks
     // are kept — they still order future merges).
+    ctx.w.log.prune_writes();
     for q in 0..nprocs {
         let (n, b) = ctx.w.procs[q].diffs.clear();
         ctx.w.proto.diffs_dropped(n, b);
-        for info in &mut ctx.w.log[q] {
-            info.writes.clear();
-        }
         // Lazy diffing: retained twins whose diffs were never requested
         // are obsolete after validation (their writes live in the
         // writer's own validated copy) — discard without encoding.

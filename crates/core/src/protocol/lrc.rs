@@ -2,13 +2,15 @@
 //! write-notice propagation, invalidation, and the page-validation /
 //! merge procedure of §3.1.1.
 
+use std::sync::Arc;
+
 use adsm_mempage::{AccessRights, PageId, PagedMemory, PAGE_SIZE};
 use adsm_netsim::{MsgKind, SimTime, TraceKind};
 use adsm_vclock::{IntervalId, ProcId, VectorClock};
 use parking_lot::Mutex;
 
-use crate::notice::{IntervalInfo, NoticeKind, PendingNotice};
-use crate::world::{PageMode, World};
+use crate::notice::{IntervalRecord, NoticeKind, PendingNotice, WriteNotice};
+use crate::world::{KeyedDiff, PageMode, World};
 use crate::ProtocolKind;
 
 /// Everything a protocol operation needs: the world, every processor's
@@ -86,7 +88,7 @@ pub(crate) fn close_interval(
     let id = IntervalId::new(p, seq);
     let closing_vc = w.procs[p.index()].vc.clone();
 
-    let mut writes: Vec<(PageId, NoticeKind)> = Vec::with_capacity(dirty.len());
+    let mut writes: Vec<WriteNotice> = Vec::with_capacity(dirty.len());
     let mut grain_events: Vec<usize> = Vec::new();
     let mut trace_diff = false;
 
@@ -101,7 +103,10 @@ pub(crate) fn close_interval(
                     Some(p),
                     "SW-dirty page {page} not owned by {p}"
                 );
-                writes.push((page, NoticeKind::Owner(version)));
+                writes.push(WriteNotice {
+                    page,
+                    kind: NoticeKind::Owner(version),
+                });
                 // Re-protect for write detection in the next interval.
                 mems[p.index()].lock().set_rights(page, AccessRights::Read);
                 w.procs[p.index()].pages[page.index()].dirty = false;
@@ -140,7 +145,10 @@ pub(crate) fn close_interval(
                     trace_diff = true;
                     w.pages[page.index()].last_diff_bytes = modified;
                 }
-                writes.push((page, NoticeKind::NonOwner));
+                writes.push(WriteNotice {
+                    page,
+                    kind: NoticeKind::NonOwner,
+                });
                 // No local pending notice: a home fetch re-installs the
                 // whole page, local writes included.
             }
@@ -164,7 +172,10 @@ pub(crate) fn close_interval(
                 w.procs[p.index()].pending_bytes += PAGE_SIZE as u64;
                 // The twin stays alive in the memory accounting — the
                 // retained twin *is* lazy diffing's memory cost.
-                writes.push((page, NoticeKind::NonOwner));
+                writes.push(WriteNotice {
+                    page,
+                    kind: NoticeKind::NonOwner,
+                });
                 w.procs[p.index()].pages[page.index()]
                     .missing
                     .push(PendingNotice {
@@ -209,14 +220,22 @@ pub(crate) fn close_interval(
                 trace_diff = true;
 
                 w.pages[page.index()].last_diff_bytes = modified;
-                if w.cfg.protocol == ProtocolKind::WfsWg {
-                    // Write-granularity test (§3.2): large diffs make the
-                    // page a candidate for SW mode; small diffs keep it
-                    // in MW mode.
-                    w.pages[page.index()].wants_sw = modified > w.cfg.cost.wg_threshold_bytes;
-                }
+                // Write-granularity test (§3.2): the policy judges the
+                // diff size — under WFS+WG large diffs make the page a
+                // candidate for SW mode while small diffs keep it in MW
+                // mode; other policies leave the flag untouched.
+                let wants = w.pages[page.index()].wants_sw;
+                w.pages[page.index()].wants_sw = w.policy.wants_sw_after_close(
+                    page.index(),
+                    modified,
+                    w.cfg.cost.wg_threshold_bytes,
+                    wants,
+                );
 
-                writes.push((page, NoticeKind::NonOwner));
+                writes.push(WriteNotice {
+                    page,
+                    kind: NoticeKind::NonOwner,
+                });
                 // The writer's own diff notice joins its own pending
                 // list so that a later whole-page install re-applies
                 // local modifications (the paper's merge procedure keeps
@@ -242,12 +261,15 @@ pub(crate) fn close_interval(
         w.profiler.note_grain(g);
     }
 
-    w.log[p.index()].push(IntervalInfo {
-        id,
-        vc: closing_vc,
-        writes,
-    });
-    debug_assert_eq!(w.log[p.index()].len() as u32, seq);
+    w.log.push(
+        p,
+        IntervalRecord {
+            id,
+            vc: Arc::new(closing_vc),
+            writes: writes.into(),
+        },
+    );
+    debug_assert_eq!(w.log.closed(p), seq);
 
     if trace_diff {
         w.trace_event(now, TraceKind::DiffCreate);
@@ -302,6 +324,14 @@ pub(crate) fn materialize_pending(
 /// pages, maintains HVN / page-mode state (on-the-fly notice GC and
 /// detection mechanism 2 of §3.1.2), and merges the vector clocks.
 /// Returns the payload size of the shipped notices.
+///
+/// This is the notice-shipping hot path: the records are read straight
+/// out of the shared [`IntervalLog`](crate::world::IntervalLog) — the
+/// `World` is split into disjoint field borrows so the log is never
+/// copied to satisfy the borrow checker. No write list, clock or batch
+/// is cloned per shipped interval
+/// ([`ProtocolStats::notice_ship_clones`](crate::ProtocolStats::notice_ship_clones)
+/// is the tripwire pinning deep copies at zero).
 pub(crate) fn integrate_from(
     w: &mut World,
     mems: &[Mutex<PagedMemory>],
@@ -309,90 +339,98 @@ pub(crate) fn integrate_from(
     src_vc: &VectorClock,
 ) -> usize {
     let nprocs = w.nprocs();
-    let adaptive = w.cfg.protocol.is_adaptive();
+    // Disjoint borrows: the log is read, everything else is written.
+    let World {
+        log,
+        procs,
+        pages,
+        cfg,
+        policy,
+        proto,
+        ..
+    } = w;
+    let adaptive = policy.adapts();
     let mut bytes = 0usize;
-    // Pages that received an owner notice in this batch (for mechanism 2).
+    // Pages that received an owner notice in this ship (for mechanism 2).
     let mut owner_pages: Vec<PageId> = Vec::new();
-    // One shipped interval: its id, closing clock, and write notices.
-    type ShippedInterval = (IntervalId, VectorClock, Vec<(PageId, NoticeKind)>);
-    let mut batch: Vec<ShippedInterval> = Vec::new();
 
     for q in ProcId::all(nprocs) {
         if q == p {
             continue;
         }
-        let from = w.procs[p.index()].vc.get(q);
+        let from = procs[p.index()].vc.get(q);
         let to = src_vc.get(q);
-        for seq in (from + 1)..=to {
-            let info = &w.log[q.index()][(seq - 1) as usize];
-            bytes += info.wire_size();
-            batch.push((info.id, info.vc.clone(), info.writes.clone()));
-        }
-    }
-
-    for (interval, ivc, writes) in batch {
-        for (page, kind) in writes {
-            let pg_idx = page.index();
-            // The HLRC home's frame already contains every flushed
-            // modification, so notices carry no work for it: no
-            // invalidation, no pending entry.
-            if w.cfg.protocol == ProtocolKind::Hlrc && w.pages[pg_idx].home == Some(p) {
-                continue;
-            }
-            // Invalidate the local copy.
-            mems[p.index()].lock().set_rights(page, AccessRights::None);
-
-            match kind {
-                NoticeKind::Owner(version) => {
-                    let pc = &mut w.procs[p.index()].pages[pg_idx];
-                    let better = pc.hvn.is_none_or(|h| version > h.version);
-                    if better {
-                        pc.hvn = Some(crate::world::Hvn {
-                            version,
-                            proc: interval.proc,
-                        });
-                    }
-                    owner_pages.push(page);
-                    // On-the-fly notice GC (§3.1.1): discard pending
-                    // notices dominated by the owner notice.
-                    let dominated: Vec<usize> = pc
-                        .missing
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, n)| ivc.covers(n.interval))
-                        .map(|(i, _)| i)
-                        .collect();
-                    for i in dominated.into_iter().rev() {
-                        pc.missing.remove(i);
-                    }
-                    pc.missing.push(PendingNotice { interval, kind });
+        for rec in log.range(q, from, to) {
+            bytes += rec.wire_size();
+            let interval = rec.id;
+            for &WriteNotice { page, kind } in rec.writes.iter() {
+                let pg_idx = page.index();
+                // The HLRC home's frame already contains every flushed
+                // modification, so notices carry no work for it: no
+                // invalidation, no pending entry.
+                if cfg.protocol == ProtocolKind::Hlrc && pages[pg_idx].home == Some(p) {
+                    continue;
                 }
-                NoticeKind::NonOwner => {
-                    let pc = &mut w.procs[p.index()].pages[pg_idx];
-                    if !pc.missing.iter().any(|n| n.interval == interval) {
+                // Invalidate the local copy.
+                mems[p.index()].lock().set_rights(page, AccessRights::None);
+
+                match kind {
+                    NoticeKind::Owner(version) => {
+                        let pc = &mut procs[p.index()].pages[pg_idx];
+                        let better = pc.hvn.is_none_or(|h| version > h.version);
+                        if better {
+                            pc.hvn = Some(crate::world::Hvn {
+                                version,
+                                proc: interval.proc,
+                            });
+                        }
+                        owner_pages.push(page);
+                        // On-the-fly notice GC (§3.1.1): discard pending
+                        // notices dominated by the owner notice.
+                        let dominated: Vec<usize> = pc
+                            .missing
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, n)| rec.vc.covers(n.interval))
+                            .map(|(i, _)| i)
+                            .collect();
+                        for i in dominated.into_iter().rev() {
+                            pc.missing.remove(i);
+                        }
                         pc.missing.push(PendingNotice { interval, kind });
                     }
-                    if adaptive {
-                        // A non-owner notice is evidence of concurrent
-                        // (MW) writing: this processor perceives write
-                        // sharing on the page. An owner with an open
-                        // (un-twinned) write session cannot flip yet —
-                        // it first emits its final owner notice at the
-                        // next interval close (§3.1.1), which performs
-                        // the flip.
-                        let sw_dirty = pc.dirty && pc.twin.is_none();
-                        if pc.mode != PageMode::Mw && !sw_dirty {
-                            pc.mode = PageMode::Mw;
-                            w.proto.switches_to_mw += 1;
+                    NoticeKind::NonOwner => {
+                        let pc = &mut procs[p.index()].pages[pg_idx];
+                        if !pc.missing.iter().any(|n| n.interval == interval) {
+                            pc.missing.push(PendingNotice { interval, kind });
                         }
-                        // FS onset seen by the page's current owner:
-                        // drop ownership — immediately if it has no
-                        // uncommitted writes, else at its next close.
-                        if w.pages[pg_idx].owner == Some(p) {
-                            if sw_dirty {
-                                w.pages[pg_idx].drop_pending = true;
-                            } else {
-                                w.pages[pg_idx].owner = None;
+                        if adaptive {
+                            // A non-owner notice is evidence of concurrent
+                            // (MW) writing: this processor perceives write
+                            // sharing on the page. An owner with an open
+                            // (un-twinned) write session cannot flip yet —
+                            // it first emits its final owner notice at the
+                            // next interval close (§3.1.1), which performs
+                            // the flip.
+                            let sw_dirty = pc.dirty && pc.twin.is_none();
+                            if pc.mode != PageMode::Mw
+                                && !sw_dirty
+                                && policy.demote_on_concurrent_notice(pg_idx)
+                            {
+                                pc.mode = PageMode::Mw;
+                                proto.switches_to_mw += 1;
+                            }
+                            // FS onset seen by the page's current owner:
+                            // drop ownership — immediately if it has no
+                            // uncommitted writes, else at its next close.
+                            if pages[pg_idx].owner == Some(p)
+                                && policy.demote_on_concurrent_notice(pg_idx)
+                            {
+                                if sw_dirty {
+                                    pages[pg_idx].drop_pending = true;
+                                } else {
+                                    pages[pg_idx].owner = None;
+                                }
                             }
                         }
                     }
@@ -403,32 +441,28 @@ pub(crate) fn integrate_from(
 
     // Detection mechanism 2 (§3.1.2): a new owner notice with no
     // surviving concurrent non-owner notices means write-write false
-    // sharing has stopped.
+    // sharing has stopped — if the policy agrees the page is worth SW
+    // handling (WFS+WG gives priority to the false-sharing test but
+    // then decides on diff size: small diffs keep MW).
     if adaptive {
         owner_pages.sort_unstable();
         owner_pages.dedup();
         for page in owner_pages {
-            let wants = w.pages[page.index()].wants_sw;
-            let pc = &mut w.procs[p.index()].pages[page.index()];
+            let wants = pages[page.index()].wants_sw;
+            let pc = &mut procs[p.index()].pages[page.index()];
             let has_concurrent = pc.missing.iter().any(|n| !n.kind.is_owner());
-            if !has_concurrent && pc.mode == PageMode::Mw {
-                let allow = match w.cfg.protocol {
-                    ProtocolKind::Wfs => true,
-                    // WFS+WG gives priority to the false-sharing test but
-                    // then decides on diff size: small diffs keep MW.
-                    ProtocolKind::WfsWg => wants,
-                    _ => false,
-                };
-                if allow && pc.twin.is_none() {
-                    pc.mode = PageMode::Sw;
-                    w.proto.switches_to_sw += 1;
-                }
+            if !has_concurrent
+                && pc.mode == PageMode::Mw
+                && policy.promote_to_sw_ok(page.index(), wants)
+                && pc.twin.is_none()
+            {
+                pc.mode = PageMode::Sw;
+                proto.switches_to_sw += 1;
             }
         }
     }
 
-    let src = src_vc.clone();
-    w.procs[p.index()].vc.merge(&src);
+    procs[p.index()].vc.merge(src_vc);
     bytes
 }
 
@@ -461,14 +495,6 @@ fn apply_key(w: &World, id: IntervalId) -> (u64, usize, u32) {
     (sum, id.proc.index(), id.seq)
 }
 
-/// A diff queued for application: precomputed happened-before sort key,
-/// source interval, and a shared handle into the writer's store.
-type KeyedDiff = (
-    (u64, usize, u32),
-    IntervalId,
-    std::sync::Arc<adsm_mempage::Diff>,
-);
-
 /// Validates `p`'s copy of `page`: the general merge procedure of
 /// §3.1.1. Fetches a whole page from the highest-version owner notice if
 /// one is pending (or an initial copy if the processor never had one),
@@ -491,40 +517,54 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let cost_model = ctx.w.cfg.cost.clone();
     let pidx = p.index();
     let pgidx = page.index();
+    // All transient state of the merge — the open session's delta and
+    // the three working lists — lives in a pooled scratch set: steady
+    // state merges perform no heap allocation for it. Recursive
+    // validations (a server validating before serving) draw their own
+    // scratch, so the pool depth equals the recursion depth.
+    let mut scratch = ctx.w.take_scratch();
 
-    // Preserve uncommitted local writes: delta of the open session.
-    let delta = {
+    // Preserve uncommitted local writes: delta of the open session,
+    // encoded into the scratch diff's reused buffers.
+    let has_delta = {
         let pc = &ctx.w.procs[pidx].pages[pgidx];
-        pc.twin.as_ref().map(|twin| {
-            let mem = ctx.mems[pidx].lock();
-            adsm_mempage::Diff::encode(twin, mem.page(page))
-        })
+        match pc.twin.as_ref() {
+            Some(twin) => {
+                let mem = ctx.mems[pidx].lock();
+                adsm_mempage::Diff::encode_into(twin, mem.page(page), &mut scratch.delta);
+                true
+            }
+            None => false,
+        }
     };
 
-    let missing = ctx.w.procs[pidx].pages[pgidx].missing.clone();
+    scratch
+        .notices
+        .extend_from_slice(&ctx.w.procs[pidx].pages[pgidx].missing);
 
     // Lazy diffing: foreign modifications are about to reach this copy,
     // so the locally retained twin must be encoded first — afterwards its
     // diff would claim the foreign words as local writes.
-    if !missing.is_empty() {
+    if !scratch.notices.is_empty() {
         let mcost = materialize_pending(ctx.w, ctx.mems, p, page);
         ctx.charge(mcost);
     }
 
     // 1. Whole-page install: from the highest-version pending owner
     //    notice, or an initial copy if we never had one.
-    let owner_pending = missing
+    let owner_pending = scratch
+        .notices
         .iter()
         .filter(|n| n.kind.is_owner())
         .max_by_key(|n| (n.kind.version().unwrap_or(0), n.interval.proc.index()))
         .copied();
 
-    let mut base_vc: Option<VectorClock> = None;
+    let mut base_vc: Option<Arc<VectorClock>> = None;
     let mut installed = false;
     if let Some(on) = owner_pending {
         let q = on.interval.proc;
         fetch_page_from(ctx, p, q, page);
-        base_vc = Some(ctx.w.vc_of(on.interval).clone());
+        base_vc = Some(Arc::clone(&ctx.w.interval(on.interval).vc));
         installed = true;
     } else if !ctx.w.procs[pidx].pages[pgidx].has_copy {
         let source = initial_source(ctx.w, p, page);
@@ -540,16 +580,15 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     //    one of our *own* old diffs would regress words we have since
     //    rewritten (committed or still in the open session). Own diffs
     //    are only re-applied over a freshly installed foreign copy.
-    let keep: Vec<PendingNotice> = missing
-        .into_iter()
-        .filter(|n| match &base_vc {
-            Some(vc) => !vc.covers(n.interval),
-            None => true,
-        })
-        .filter(|n| installed || n.interval.proc != p)
-        .collect();
+    scratch.notices.retain(|n| {
+        let dominated = match &base_vc {
+            Some(vc) => vc.covers(n.interval),
+            None => false,
+        };
+        !dominated && (installed || n.interval.proc != p)
+    });
     debug_assert!(
-        keep.iter().all(|n| !n.kind.is_owner()),
+        scratch.notices.iter().all(|n| !n.kind.is_owner()),
         "owner notices must be dominated by the freshest owner copy"
     );
 
@@ -558,14 +597,16 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     //    writer). Every fetched diff is a shared handle into the
     //    writer's per-page store — a refcount bump, never a deep copy
     //    (`diff_fetch_clones` pins that at zero).
-    let mut writers: Vec<ProcId> = keep.iter().map(|n| n.interval.proc).collect();
-    writers.sort_unstable();
-    writers.dedup();
+    scratch
+        .writers
+        .extend(scratch.notices.iter().map(|n| n.interval.proc));
+    scratch.writers.sort_unstable();
+    scratch.writers.dedup();
     let my_mode_sw = ctx.w.procs[pidx].pages[pgidx].mode == PageMode::Sw;
     let mut remote_writers = 0u64;
     let mut total_reply_bytes = 0usize;
-    let mut to_apply: Vec<KeyedDiff> = Vec::with_capacity(keep.len());
-    for q in writers {
+    for wi in 0..scratch.writers.len() {
+        let q = scratch.writers[wi];
         // Lazy diffing: the writer encodes its retained twin on demand.
         let mcost = materialize_pending(ctx.w, ctx.mems, q, page);
         if mcost > SimTime::ZERO {
@@ -576,13 +617,21 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             }
         }
         let mut reply_bytes = 0usize;
-        for n in keep.iter().filter(|n| n.interval.proc == q) {
+        for ni in 0..scratch.notices.len() {
+            let n = scratch.notices[ni];
+            if n.interval.proc != q {
+                continue;
+            }
             match ctx.w.procs[q.index()].diffs.get(page, n.interval) {
                 Some(diff) => {
-                    let diff = std::sync::Arc::clone(diff);
+                    let diff = Arc::clone(diff);
                     ctx.w.proto.diffs_fetched += 1;
                     reply_bytes += diff.wire_size();
-                    to_apply.push((apply_key(ctx.w, n.interval), n.interval, diff));
+                    scratch.to_apply.push(KeyedDiff {
+                        key: apply_key(ctx.w, n.interval),
+                        interval: n.interval,
+                        diff,
+                    });
                 }
                 None => {
                     // Every surviving pending notice must have a stored
@@ -605,7 +654,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             ctx.interrupt(q);
             // Mechanism 1 (§3.1.2): diff requests piggyback the
             // requester's perception of the page.
-            if ctx.w.cfg.protocol.is_adaptive() {
+            if ctx.w.policy.adapts() {
                 ctx.w.pages[pgidx].reports_sw[pidx] = my_mode_sw;
                 mechanism1_consensus(ctx.w, page);
             }
@@ -626,30 +675,31 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // 4. Apply in a linear extension of happened-before-1, resolved in
     //    **one pass** over the page: the k-way merge writes each word
     //    once however many diffs are pending. The keys were computed at
-    //    fetch time, so the sort compares plain tuples.
-    to_apply.sort_unstable_by_key(|(key, _, _)| *key);
-    let diff_refs: Vec<&adsm_mempage::Diff> = to_apply.iter().map(|(_, _, d)| &**d).collect();
+    //    fetch time, so the sort compares plain tuples, and the merge
+    //    reads the fetched handles in place (no reference list is
+    //    materialised).
+    scratch.to_apply.sort_unstable_by_key(|kd| kd.key);
     let mut apply_cost = SimTime::ZERO;
     {
         let mut mem = ctx.mems[pidx].lock();
         if super::trace_word::watched().is_some() {
             // Watch mode: the sequential reference path, whose per-diff
             // granularity the change log needs.
-            for (_, iv, diff) in &to_apply {
+            for kd in &scratch.to_apply {
                 let before = mem.page(page).to_vec();
-                diff.apply(mem.page_mut(page));
+                kd.diff.apply(mem.page_mut(page));
                 super::trace_word::log_change(
-                    &format!("apply {iv} at {p}"),
+                    &format!("apply {} at {p}", kd.interval),
                     page,
                     &before,
                     mem.page(page),
                 );
             }
-        } else if !diff_refs.is_empty() {
-            adsm_mempage::Diff::apply_many(&diff_refs, mem.page_mut(page));
+        } else if !scratch.to_apply.is_empty() {
+            adsm_mempage::Diff::apply_many(&scratch.to_apply, mem.page_mut(page));
         }
-        for (_, _, diff) in &to_apply {
-            apply_cost += cost_model.diff_apply(diff.modified_bytes());
+        for kd in &scratch.to_apply {
+            apply_cost += cost_model.diff_apply(kd.diff.modified_bytes());
             ctx.w.proto.diffs_applied += 1;
         }
         // Bring an open write session through the merge. Two cases:
@@ -662,18 +712,18 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         //   session's writes would be baked into it and silently vanish
         //   from the next diff). Instead the *old* twin is brought
         //   forward by applying the same diffs to it.
-        if let Some(delta) = delta {
+        if has_delta {
             if installed {
                 let base = ctx.w.pool.get_copy(mem.page(page));
-                delta.apply(mem.page_mut(page));
+                scratch.delta.apply(mem.page_mut(page));
                 ctx.w.procs[pidx].pages[pgidx].twin = Some(base);
             } else {
                 let mut twin = ctx.w.procs[pidx].pages[pgidx]
                     .twin
                     .take()
                     .expect("delta implies twin");
-                if !diff_refs.is_empty() {
-                    adsm_mempage::Diff::apply_many(&diff_refs, &mut twin);
+                if !scratch.to_apply.is_empty() {
+                    adsm_mempage::Diff::apply_many(&scratch.to_apply, &mut twin);
                 }
                 ctx.w.procs[pidx].pages[pgidx].twin = Some(twin);
             }
@@ -691,6 +741,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     pc.missing.clear();
     pc.has_copy = true;
     ctx.w.pages[pgidx].copyset[pidx] = true;
+    ctx.w.put_scratch(scratch);
 }
 
 /// Fetches a whole page from `q` into `p`'s memory (request + reply
@@ -724,11 +775,11 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
     }
     ctx.w.proto.pages_transferred += 1;
 
-    // WFS+WG (§3.3): a page becomes read-write shared as soon as another
-    // processor fetches it from its writing owner — switch it to MW mode
-    // (via a deferred ownership drop) so the write granularity can be
-    // measured.
-    if ctx.w.cfg.protocol == ProtocolKind::WfsWg
+    // Read-sharing probe (WFS+WG, §3.3): a page becomes read-write
+    // shared as soon as another processor fetches it from its writing
+    // owner — policies measuring write granularity switch it to MW mode
+    // (via a deferred ownership drop) so the granularity gets measured.
+    if ctx.w.policy.demote_owner_on_read_copy(page.index())
         && ctx.w.pages[page.index()].owner == Some(q)
         && ctx
             .w
@@ -779,7 +830,7 @@ pub(crate) fn mechanism1_consensus(w: &mut World, page: PageId) {
     if !all_sw {
         return;
     }
-    if w.cfg.protocol == ProtocolKind::WfsWg && !w.pages[pgidx].wants_sw {
+    if !w.policy.promote_to_sw_ok(pgidx, w.pages[pgidx].wants_sw) {
         return;
     }
     for q in 0..w.nprocs() {

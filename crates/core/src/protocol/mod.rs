@@ -1,110 +1,59 @@
-//! The coherence protocols, built on the shared LRC machinery.
+//! The coherence protocols, structured as a three-layer stack (see
+//! DESIGN.md, "The layered protocol stack"):
 //!
-//! * [`mw`] — TreadMarks-style multiple-writer (twins + diffs).
-//! * [`sw`] — CVM-style single-writer (ownership + versions + quantum).
-//! * [`adaptive`] — the paper's WFS and WFS+WG protocols (§3).
-//! * [`sync`] — locks and barriers (write-notice propagation).
-//! * [`gc`] — diff garbage collection at barriers (§2.2, §3.1.1).
-//! * [`sc`] — the sequentially-consistent comparator (IVY-style; §7).
-//! * [`hlrc`] — the home-based LRC comparator (Zhou et al.; §7).
+//! * [`dispatch`] — the `Protocol` trait: one object per protocol,
+//!   selected once per run; routes faults, locks, barriers and GC.
+//! * [`policy`] — the `AdaptPolicy` trait: owns every SW/MW mode
+//!   decision (WFS, WFS+WG, hysteresis, static hints).
+//! * Mechanism — the machinery the other two layers compose:
+//!   * [`lrc`] — shared LRC machinery: intervals, write-notice
+//!     propagation, the merge procedure of §3.1.1.
+//!   * [`mw`] — TreadMarks-style multiple-writer (twins + diffs).
+//!   * [`sw`] — CVM-style single-writer (ownership + versions + quantum).
+//!   * [`adaptive`] — the paper's adaptive fault paths (§3).
+//!   * [`sync`] — locks and barriers (write-notice propagation).
+//!   * [`gc`] — diff garbage collection at barriers (§2.2, §3.1.1).
+//!   * [`sc`] — the sequentially-consistent comparator (IVY-style; §7).
+//!   * [`hlrc`] — the home-based LRC comparator (Zhou et al.; §7).
 
 pub(crate) mod adaptive;
+pub(crate) mod dispatch;
 pub(crate) mod gc;
 pub(crate) mod hlrc;
 pub(crate) mod lrc;
 pub(crate) mod mw;
+pub(crate) mod policy;
 pub(crate) mod sc;
 pub(crate) mod sw;
 pub(crate) mod sync;
 pub(crate) mod trace_word;
 
-use adsm_mempage::{AccessRights, PageId};
+use adsm_mempage::PageId;
 use adsm_vclock::ProcId;
 
+pub(crate) use dispatch::{protocol_for, Protocol};
 pub(crate) use lrc::Ctx;
 
-use crate::ProtocolKind;
-
 /// Handles a read access violation on `page` by processor `p`.
-pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
+pub(crate) fn read_fault(ctx: &mut Ctx<'_>, proto: &dyn Protocol, p: ProcId, page: PageId) {
     ctx.drain_deferred();
     ctx.w.touch(page);
     ctx.w.proto.read_faults += 1;
-    match ctx.w.cfg.protocol {
-        ProtocolKind::Raw => {
-            // The Raw baseline models the paper's sequential runs with
-            // all synchronisation (and coherence) removed: faults are
-            // free bookkeeping.
-            let mut mem = ctx.mems[p.index()].lock();
-            mem.set_rights(page, AccessRights::Write);
-            drop(mem);
-            ctx.w.procs[p.index()].pages[page.index()].has_copy = true;
-        }
-        ProtocolKind::Wfs | ProtocolKind::WfsWg => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            adaptive::read_fault(ctx, p, page);
-        }
-        ProtocolKind::Sc => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            sc::read_fault(ctx, p, page);
-            if std::env::var_os("ADSM_SC_CHECK").is_some() {
-                sc::check_invariants(ctx, "read_fault");
-            }
-        }
-        ProtocolKind::Hlrc => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            hlrc::read_fault(ctx, p, page);
-        }
-        _ => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            lrc::validate_page(ctx, p, page);
-        }
+    if proto.charges_fault_trap() {
+        let trap = ctx.w.cfg.cost.fault_trap;
+        ctx.charge(trap);
     }
+    proto.read_fault(ctx, p, page);
 }
 
 /// Handles a write access violation on `page` by processor `p`.
-pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
+pub(crate) fn write_fault(ctx: &mut Ctx<'_>, proto: &dyn Protocol, p: ProcId, page: PageId) {
     ctx.drain_deferred();
     ctx.w.touch(page);
     ctx.w.proto.write_faults += 1;
-    match ctx.w.cfg.protocol {
-        ProtocolKind::Raw => {
-            let mut mem = ctx.mems[p.index()].lock();
-            mem.set_rights(page, AccessRights::Write);
-            drop(mem);
-            ctx.w.procs[p.index()].pages[page.index()].has_copy = true;
-        }
-        ProtocolKind::Mw => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            mw::write_fault(ctx, p, page)
-        }
-        ProtocolKind::Sw => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            sw::write_fault(ctx, p, page)
-        }
-        ProtocolKind::Wfs | ProtocolKind::WfsWg => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            adaptive::write_fault(ctx, p, page)
-        }
-        ProtocolKind::Sc => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            sc::write_fault(ctx, p, page);
-            if std::env::var_os("ADSM_SC_CHECK").is_some() {
-                sc::check_invariants(ctx, "write_fault");
-            }
-        }
-        ProtocolKind::Hlrc => {
-            let trap = ctx.w.cfg.cost.fault_trap;
-            ctx.charge(trap);
-            hlrc::write_fault(ctx, p, page)
-        }
+    if proto.charges_fault_trap() {
+        let trap = ctx.w.cfg.cost.fault_trap;
+        ctx.charge(trap);
     }
+    proto.write_fault(ctx, p, page);
 }

@@ -1,0 +1,453 @@
+//! The adaptation-policy layer: *when* a page should be handled
+//! single-writer vs. multiple-writer.
+//!
+//! The paper's contribution is a policy, not a mechanism — the twins,
+//! diffs, ownership exchanges and merge procedure are TreadMarks/CVM
+//! machinery; what §3 adds is the *decision rule* for switching a page
+//! between them. [`AdaptPolicy`] makes that rule a first-class object:
+//! every mode decision the protocols take (SW→MW demotion on evidence of
+//! concurrent writing, MW→SW promotion through the three cessation
+//! mechanisms of §3.1.2, the WFS+WG write-granularity test of §3.2, the
+//! barrier-GC exit mode, migratory read-grants) is a query against the
+//! run's policy, held in [`World::policy`](crate::world::World).
+//!
+//! Provided policies:
+//!
+//! * [`WfsPolicy`] — the paper's WFS: adapt on write-write false
+//!   sharing alone.
+//! * [`WfsWgPolicy`] — the paper's WFS+WG: WFS plus the
+//!   write-granularity test (small diffs keep a page in MW mode).
+//! * [`HysteresisPolicy`] — WFS damped against mode ping-pong: a page
+//!   returns to SW handling only after N consecutive refusal-free
+//!   barriers.
+//! * [`StaticHintPolicy`] — per-page static hints: hinted pages are
+//!   pinned to MW handling from the start (no discovery cost, no
+//!   refusal round); unhinted pages adapt like WFS.
+//! * [`FixedModePolicy`] — the non-adaptive protocols (MW, SW, Raw,
+//!   SC, HLRC): never adapts; installed so mechanism code can query one
+//!   interface unconditionally.
+//!
+//! The split keeps two invariants explicit. **Demotion is safety,
+//! promotion is policy**: a write-faulting processor whose ownership
+//! request is refused *must* fall to MW handling to make progress, so
+//! that transition is mechanism (the policy merely observes it through
+//! [`AdaptPolicy::note_refusal`]); everything that *returns* a page to
+//! SW handling is pure policy and can be delayed or vetoed freely.
+//! **Policies are deterministic**: decisions depend only on protocol
+//! events, never on host time, so runs stay reproducible bit-for-bit.
+
+use crate::AdaptPolicyKind;
+
+/// The policy interface. One boxed instance lives in the `World` for
+/// the duration of a run; `&self` methods are decisions, `&mut self`
+/// methods are event observations feeding policy state.
+pub(crate) trait AdaptPolicy: Send + std::fmt::Debug {
+    /// Display name (test and debug identification; the run-facing
+    /// label is `AdaptPolicyKind`'s `Display`).
+    #[allow(dead_code)]
+    fn name(&self) -> &'static str;
+
+    /// Does this policy ever adapt page modes? `false` short-circuits
+    /// every adaptation block in the shared machinery (the old
+    /// `ProtocolKind::is_adaptive()` checks).
+    fn adapts(&self) -> bool;
+
+    /// Sizes per-page policy state; called once before the run.
+    fn on_run_start(&mut self, _npages: usize) {}
+
+    /// Should this page start under MW handling, with no initial owner?
+    /// Default: no — §3.3, "all pages start in SW mode".
+    fn page_starts_mw(&self, _page: usize) -> bool {
+        false
+    }
+
+    /// Close-time write-granularity observation (§3.2): the page's new
+    /// `wants_sw` after an interval produced a diff of `modified`
+    /// bytes. `current` is the page's present value; policies without a
+    /// granularity test return it unchanged.
+    fn wants_sw_after_close(
+        &self,
+        _page: usize,
+        _modified: usize,
+        _threshold: usize,
+        current: bool,
+    ) -> bool {
+        current
+    }
+
+    /// SW→MW demotion on receiving a non-owner write notice — evidence
+    /// that the page is being written concurrently (§3.1.1). Returning
+    /// `false` only delays the demotion: the refusal protocol is the
+    /// correctness backstop (the processor's next SW-path write fault is
+    /// refused and demotes then). Every provided policy says yes.
+    fn demote_on_concurrent_notice(&self, _page: usize) -> bool {
+        true
+    }
+
+    /// MW→SW promotion: may the page return to single-writer handling?
+    /// Gates all three cessation-detection mechanisms of §3.1.2 (the
+    /// piggybacked consensus, the on-the-fly owner-notice test, and the
+    /// barrier-time domination test) plus ownership (re-)grants on the
+    /// adaptive SW path. `wants_sw` is the page's write-granularity
+    /// flag maintained through [`AdaptPolicy::wants_sw_after_close`].
+    fn promote_to_sw_ok(&self, page: usize, wants_sw: bool) -> bool;
+
+    /// May an adaptive-path ownership request be granted? (WFS+WG's
+    /// `wg_ok`: refuse while the page's measured granularity argues for
+    /// MW handling, §3.3.)
+    fn grant_sw_ok(&self, page: usize, wants_sw: bool) -> bool;
+
+    /// WFS+WG read-sharing probe (§3.3): demote a writing owner as soon
+    /// as another processor fetches its page, so the write granularity
+    /// gets measured.
+    fn demote_owner_on_read_copy(&self, _page: usize) -> bool {
+        false
+    }
+
+    /// Migratory read-grant eligibility (§7 extension) by pattern
+    /// confidence; `enabled` is the run's `migratory_opt` config.
+    fn migratory_grant_ok(&self, enabled: bool, score: u8) -> bool {
+        enabled && score >= 2
+    }
+
+    /// Should this page leave a barrier-time garbage collection under
+    /// SW handling, owned by the last writer (§3.1.1)? Pages answering
+    /// `no` take the pure-MW GC treatment (every writer validates,
+    /// ownership lapses).
+    fn gc_exit_to_sw(&self, _page: usize) -> bool {
+        true
+    }
+
+    /// An ownership request for `page` was refused (write-write false
+    /// sharing observed).
+    fn note_refusal(&mut self, _page: usize) {}
+
+    /// A barrier completed (called after the global notice exchange,
+    /// before the barrier-time detection runs).
+    fn note_barrier(&mut self) {}
+}
+
+/// Policy of the non-adaptive protocols: pages never change mode.
+#[derive(Debug)]
+pub(crate) struct FixedModePolicy;
+
+impl AdaptPolicy for FixedModePolicy {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn adapts(&self) -> bool {
+        false
+    }
+    fn promote_to_sw_ok(&self, _page: usize, _wants_sw: bool) -> bool {
+        false
+    }
+    fn grant_sw_ok(&self, _page: usize, _wants_sw: bool) -> bool {
+        true
+    }
+}
+
+/// The paper's WFS policy (§3.1): adapt on write-write false sharing
+/// alone — demote on refusals and concurrent notices, promote as soon
+/// as any cessation mechanism fires.
+#[derive(Debug)]
+pub(crate) struct WfsPolicy;
+
+impl AdaptPolicy for WfsPolicy {
+    fn name(&self) -> &'static str {
+        "WFS"
+    }
+    fn adapts(&self) -> bool {
+        true
+    }
+    fn promote_to_sw_ok(&self, _page: usize, _wants_sw: bool) -> bool {
+        true
+    }
+    fn grant_sw_ok(&self, _page: usize, _wants_sw: bool) -> bool {
+        true
+    }
+}
+
+/// The paper's WFS+WG policy (§3.2, §3.3): WFS with the
+/// write-granularity test — a page is only worth SW handling once a
+/// large diff has been observed (`wants_sw`), and a writing owner is
+/// demoted as soon as a reader fetches its page so the granularity gets
+/// measured at all.
+#[derive(Debug)]
+pub(crate) struct WfsWgPolicy;
+
+impl AdaptPolicy for WfsWgPolicy {
+    fn name(&self) -> &'static str {
+        "WFS+WG"
+    }
+    fn adapts(&self) -> bool {
+        true
+    }
+    fn wants_sw_after_close(
+        &self,
+        _page: usize,
+        modified: usize,
+        threshold: usize,
+        _current: bool,
+    ) -> bool {
+        modified > threshold
+    }
+    fn promote_to_sw_ok(&self, _page: usize, wants_sw: bool) -> bool {
+        wants_sw
+    }
+    fn grant_sw_ok(&self, _page: usize, wants_sw: bool) -> bool {
+        wants_sw
+    }
+    fn demote_owner_on_read_copy(&self, _page: usize) -> bool {
+        true
+    }
+}
+
+/// WFS with promotion hysteresis: a page may return to SW handling
+/// only after `n` consecutive barriers without an ownership refusal on
+/// it. Damps the demote/promote ping-pong that phase-changing sharing
+/// patterns induce under plain WFS (each round trip costs an ownership
+/// exchange plus a refusal).
+///
+/// Pages start *cleared* (streak == `n`), so a page that never sees
+/// false sharing behaves exactly like WFS; the first refusal zeroes its
+/// streak and the page then sits out `n` barriers in MW mode.
+#[derive(Debug)]
+pub(crate) struct HysteresisPolicy {
+    n: u32,
+    /// Consecutive refusal-free barriers per page, saturating at `n`.
+    streak: Vec<u32>,
+    /// Page saw a refusal since the last barrier.
+    refused: Vec<bool>,
+}
+
+impl HysteresisPolicy {
+    pub(crate) fn new(n: u32) -> Self {
+        HysteresisPolicy {
+            n,
+            streak: Vec::new(),
+            refused: Vec::new(),
+        }
+    }
+
+    fn cleared(&self, page: usize) -> bool {
+        self.streak.get(page).copied().unwrap_or(self.n) >= self.n
+    }
+}
+
+impl AdaptPolicy for HysteresisPolicy {
+    fn name(&self) -> &'static str {
+        "WFS+hyst"
+    }
+    fn adapts(&self) -> bool {
+        true
+    }
+    fn on_run_start(&mut self, npages: usize) {
+        self.streak = vec![self.n; npages];
+        self.refused = vec![false; npages];
+    }
+    fn promote_to_sw_ok(&self, page: usize, _wants_sw: bool) -> bool {
+        self.cleared(page)
+    }
+    fn grant_sw_ok(&self, _page: usize, _wants_sw: bool) -> bool {
+        // Grants on a page already under SW handling are not a
+        // *return* to SW; the streak only gates promotions.
+        true
+    }
+    fn gc_exit_to_sw(&self, page: usize) -> bool {
+        self.cleared(page)
+    }
+    fn note_refusal(&mut self, page: usize) {
+        if let Some(r) = self.refused.get_mut(page) {
+            *r = true;
+        }
+        if let Some(s) = self.streak.get_mut(page) {
+            *s = 0;
+        }
+    }
+    fn note_barrier(&mut self) {
+        for (s, r) in self.streak.iter_mut().zip(&mut self.refused) {
+            if *r {
+                *s = 0;
+                *r = false;
+            } else {
+                *s = (*s + 1).min(self.n);
+            }
+        }
+    }
+}
+
+/// Per-page static hints: pages flagged in `mw_pages` are pinned to MW
+/// handling for the whole run — they start twinning immediately (no
+/// initial owner, no refusal round to discover the sharing) and never
+/// return to SW; every other page adapts like WFS. Hints typically come
+/// from a profiling run (`repro ablation-policies` seeds them from a
+/// WFS run's final page modes).
+#[derive(Debug)]
+pub(crate) struct StaticHintPolicy {
+    mw_pages: std::sync::Arc<[bool]>,
+}
+
+impl StaticHintPolicy {
+    pub(crate) fn new(mw_pages: std::sync::Arc<[bool]>) -> Self {
+        StaticHintPolicy { mw_pages }
+    }
+
+    fn pinned_mw(&self, page: usize) -> bool {
+        self.mw_pages.get(page).copied().unwrap_or(false)
+    }
+}
+
+impl AdaptPolicy for StaticHintPolicy {
+    fn name(&self) -> &'static str {
+        "static-hint"
+    }
+    fn adapts(&self) -> bool {
+        true
+    }
+    fn page_starts_mw(&self, page: usize) -> bool {
+        self.pinned_mw(page)
+    }
+    fn promote_to_sw_ok(&self, page: usize, _wants_sw: bool) -> bool {
+        !self.pinned_mw(page)
+    }
+    fn grant_sw_ok(&self, page: usize, _wants_sw: bool) -> bool {
+        !self.pinned_mw(page)
+    }
+    fn gc_exit_to_sw(&self, page: usize) -> bool {
+        !self.pinned_mw(page)
+    }
+}
+
+/// Builds the run's policy object: an explicit override from the
+/// configuration if present, else the default implied by the protocol
+/// (WFS and WFS+WG carry their namesake policies; everything else is
+/// fixed-mode).
+pub(crate) fn build_policy(cfg: &crate::DsmConfig) -> Box<dyn AdaptPolicy> {
+    let kind = match (&cfg.adapt_policy, cfg.protocol) {
+        (Some(k), _) => k.clone(),
+        (None, crate::ProtocolKind::Wfs) => AdaptPolicyKind::Wfs,
+        (None, crate::ProtocolKind::WfsWg) => AdaptPolicyKind::WfsWg,
+        (None, _) => return Box::new(FixedModePolicy),
+    };
+    match kind {
+        AdaptPolicyKind::Wfs => Box::new(WfsPolicy),
+        AdaptPolicyKind::WfsWg => Box::new(WfsWgPolicy),
+        AdaptPolicyKind::Hysteresis { barriers } => Box::new(HysteresisPolicy::new(barriers)),
+        AdaptPolicyKind::StaticHint { mw_pages } => Box::new(StaticHintPolicy::new(mw_pages)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wfs_promotes_unconditionally_and_ignores_granularity() {
+        let p = WfsPolicy;
+        assert!(p.adapts());
+        assert!(p.promote_to_sw_ok(0, false));
+        assert!(p.grant_sw_ok(3, false));
+        assert!(!p.demote_owner_on_read_copy(0));
+        // No granularity test: the flag passes through unchanged.
+        assert!(!p.wants_sw_after_close(0, 4096, 64, false));
+        assert!(p.wants_sw_after_close(0, 8, 64, true));
+    }
+
+    #[test]
+    fn wfswg_gates_on_measured_granularity() {
+        let p = WfsWgPolicy;
+        assert!(p.wants_sw_after_close(0, 100, 64, false));
+        assert!(!p.wants_sw_after_close(0, 64, 64, true), "<= threshold");
+        assert!(!p.promote_to_sw_ok(0, false));
+        assert!(p.promote_to_sw_ok(0, true));
+        assert!(!p.grant_sw_ok(0, false));
+        assert!(p.demote_owner_on_read_copy(0));
+    }
+
+    #[test]
+    fn hysteresis_blocks_promotion_until_n_clean_barriers() {
+        let mut p = HysteresisPolicy::new(2);
+        p.on_run_start(4);
+        // Never-refused pages start cleared: behaves like WFS.
+        assert!(p.promote_to_sw_ok(1, false));
+        assert!(p.gc_exit_to_sw(1));
+        // A refusal zeroes the streak immediately.
+        p.note_refusal(1);
+        assert!(!p.promote_to_sw_ok(1, true));
+        assert!(!p.gc_exit_to_sw(1));
+        // Grants on still-SW pages stay allowed (not a promotion).
+        assert!(p.grant_sw_ok(1, false));
+        // The barrier closing the window that contained the refusal is
+        // not refusal-free; neither is one clean barrier enough at
+        // n = 2...
+        p.note_barrier();
+        assert!(!p.promote_to_sw_ok(1, false));
+        p.note_barrier();
+        assert!(!p.promote_to_sw_ok(1, false));
+        // ...two clean barriers are.
+        p.note_barrier();
+        assert!(p.promote_to_sw_ok(1, false));
+        // A refusal mid-window restarts the count at the next barrier.
+        p.note_refusal(1);
+        p.note_barrier();
+        assert!(!p.promote_to_sw_ok(1, false));
+        // Other pages are unaffected throughout.
+        assert!(p.promote_to_sw_ok(0, false));
+    }
+
+    #[test]
+    fn hysteresis_refusal_inside_barrier_window_resets_streak() {
+        let mut p = HysteresisPolicy::new(1);
+        p.on_run_start(2);
+        p.note_refusal(0);
+        // The barrier right after a refusal closes a dirtied window:
+        // the streak restarts from zero, so one further clean barrier
+        // is needed at n = 1.
+        p.note_barrier();
+        assert!(!p.promote_to_sw_ok(0, false), "window had a refusal");
+        p.note_barrier();
+        assert!(p.promote_to_sw_ok(0, false), "n = 1: one clean barrier");
+        p.note_refusal(0);
+        assert!(!p.promote_to_sw_ok(0, false));
+    }
+
+    #[test]
+    fn static_hint_pins_flagged_pages_to_mw() {
+        let p = StaticHintPolicy::new(vec![false, true].into());
+        assert!(p.adapts());
+        assert!(!p.page_starts_mw(0));
+        assert!(p.page_starts_mw(1));
+        assert!(p.promote_to_sw_ok(0, false));
+        assert!(!p.promote_to_sw_ok(1, true));
+        assert!(!p.grant_sw_ok(1, true));
+        assert!(!p.gc_exit_to_sw(1));
+        // Pages beyond the hint vector default to adaptive handling.
+        assert!(p.promote_to_sw_ok(7, false));
+        assert!(!p.page_starts_mw(7));
+    }
+
+    #[test]
+    fn fixed_mode_never_adapts() {
+        let p = FixedModePolicy;
+        assert!(!p.adapts());
+        assert!(!p.promote_to_sw_ok(0, true));
+        assert!(!p.page_starts_mw(0));
+        assert!(!p.demote_owner_on_read_copy(0));
+    }
+
+    #[test]
+    fn build_policy_defaults_follow_the_protocol() {
+        use crate::{DsmConfig, ProtocolKind};
+        let names = |proto: ProtocolKind| build_policy(&DsmConfig::new(proto)).name();
+        assert_eq!(names(ProtocolKind::Wfs), "WFS");
+        assert_eq!(names(ProtocolKind::WfsWg), "WFS+WG");
+        assert_eq!(names(ProtocolKind::Mw), "fixed");
+        assert_eq!(names(ProtocolKind::Sw), "fixed");
+        assert_eq!(names(ProtocolKind::Sc), "fixed");
+        assert_eq!(names(ProtocolKind::Hlrc), "fixed");
+
+        let mut cfg = DsmConfig::new(ProtocolKind::Wfs);
+        cfg.adapt_policy = Some(crate::AdaptPolicyKind::Hysteresis { barriers: 3 });
+        assert_eq!(build_policy(&cfg).name(), "WFS+hyst");
+    }
+}

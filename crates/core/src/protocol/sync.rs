@@ -14,11 +14,9 @@ use adsm_mempage::AccessRights;
 use adsm_netsim::{MsgKind, SimTime, TraceKind};
 use adsm_vclock::{ProcId, VectorClock};
 
-use super::gc;
 use super::lrc::{self, Ctx, CTRL_BYTES};
 use crate::notice::{NoticeKind, PendingNotice};
 use crate::world::{Hvn, LockState, PageMode};
-use crate::ProtocolKind;
 
 /// Outcome of the first half of a lock acquire.
 #[derive(Debug, PartialEq, Eq)]
@@ -141,8 +139,13 @@ pub(crate) enum BarrierOutcome {
 
 /// Barrier arrival. The last arriver performs the completion work:
 /// global notice exchange, adaptive mechanism 3, garbage collection if
-/// requested, and the release broadcast.
-pub(crate) fn barrier_arrive(ctx: &mut Ctx<'_>, p: ProcId) -> BarrierOutcome {
+/// requested (through the protocol's `gc` hook, passed in as a
+/// closure), and the release broadcast.
+pub(crate) fn barrier_arrive(
+    ctx: &mut Ctx<'_>,
+    p: ProcId,
+    gc: impl FnOnce(&mut Ctx<'_>),
+) -> BarrierOutcome {
     ctx.drain_deferred();
     let nprocs = ctx.w.nprocs();
     let manager = ProcId::new(0);
@@ -186,12 +189,16 @@ pub(crate) fn barrier_arrive(ctx: &mut Ctx<'_>, p: ProcId) -> BarrierOutcome {
         release_payloads[q.index()] = lrc::integrate_from(ctx.w, ctx.mems, q, &global_vc);
     }
 
-    // Adaptive barrier-time detection (mechanism 3), then GC.
-    if ctx.w.cfg.protocol.is_adaptive() {
+    // Adaptive barrier-time detection (mechanism 3), then GC. The
+    // policy observes the barrier first (hysteresis streaks advance on
+    // barrier episodes), so its promotion answers below reflect the
+    // refusal window that just closed.
+    if ctx.w.policy.adapts() {
+        ctx.w.policy.note_barrier();
         mechanism3(ctx);
     }
     if ctx.w.gc_requested {
-        gc::collect(ctx);
+        gc(ctx);
     }
     ctx.w.barrier_notice_pages.clear();
 
@@ -236,10 +243,8 @@ fn new_interval_bytes(w: &crate::world::World, p: ProcId) -> usize {
     let mine = &w.procs[p.index()].vc;
     let mut bytes = 0usize;
     for q in ProcId::all(w.nprocs()) {
-        let from = base.get(q);
-        let to = mine.get(q);
-        for seq in (from + 1)..=to {
-            bytes += w.log[q.index()][(seq - 1) as usize].wire_size();
+        for rec in w.log.range(q, base.get(q), mine.get(q)) {
+            bytes += rec.wire_size();
         }
     }
     bytes
@@ -257,8 +262,15 @@ fn mechanism3(ctx: &mut Ctx<'_>) {
         if ctx.w.pages[pgidx].owner.is_some() {
             continue; // still under SW handling somewhere
         }
-        if ctx.w.cfg.protocol == ProtocolKind::WfsWg && !ctx.w.pages[pgidx].wants_sw {
-            continue; // small diffs: stay in MW mode (§3.3 priority rule)
+        if !ctx
+            .w
+            .policy
+            .promote_to_sw_ok(pgidx, ctx.w.pages[pgidx].wants_sw)
+        {
+            // The policy keeps the page in MW mode — small diffs under
+            // WFS+WG (§3.3 priority rule), an open hysteresis window, a
+            // static MW hint.
+            continue;
         }
         let cands = ctx.w.profiler.last_writes(page);
         if cands.is_empty() {

@@ -12,7 +12,7 @@ use adsm_vclock::ProcId;
 use parking_lot::Mutex;
 
 use crate::metrics::RunReport;
-use crate::protocol::{lrc, Ctx};
+use crate::protocol::{lrc, protocol_for, Ctx};
 use crate::world::World;
 use crate::{DsmConfig, Proc, ProtocolKind, SharedVec};
 
@@ -152,6 +152,39 @@ impl DsmBuilder {
         self
     }
 
+    /// Overrides the adaptation policy of an adaptive protocol
+    /// ([`ProtocolKind::Wfs`] / [`ProtocolKind::WfsWg`]): the dispatch
+    /// machinery stays the protocol's, but every SW/MW mode decision is
+    /// taken by the given policy — hysteresis, static per-page hints,
+    /// or one of the paper's two policies. [`Dsm::run`] rejects an
+    /// override on a non-adaptive protocol with
+    /// [`RunError::BadConfig`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{AdaptPolicyKind, Dsm, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Wfs)
+    ///     .nprocs(4)
+    ///     .adapt_policy(AdaptPolicyKind::Hysteresis { barriers: 2 })
+    ///     .build();
+    /// assert_eq!(dsm.protocol(), ProtocolKind::Wfs);
+    /// ```
+    pub fn adapt_policy(mut self, policy: crate::AdaptPolicyKind) -> Self {
+        self.cfg.adapt_policy = Some(policy);
+        self
+    }
+
+    /// Enables the SC comparator's per-fault invariant checker (single
+    /// writable copy, coherent read copies, exact copysets). Defaults
+    /// to the `ADSM_SC_CHECK` environment variable, read once at
+    /// configuration time; other protocols ignore the flag.
+    pub fn sc_invariant_checks(mut self, on: bool) -> Self {
+        self.cfg.sc_check = on;
+        self
+    }
+
     /// Enables **schedule fuzzing**: the engine picks the next processor
     /// pseudo-randomly (seeded) at every turn point instead of by least
     /// virtual clock. Every fuzzed schedule is a causally valid
@@ -166,8 +199,8 @@ impl DsmBuilder {
 
     /// Measures host wall-clock costs of the protocol hot paths
     /// (`validate_page`, barrier fan-in) into the run report's
-    /// histograms ([`ProtocolStats::validate_wall`] and
-    /// [`ProtocolStats::barrier_wall`](crate::ProtocolStats)). Off by
+    /// histograms ([`validate_wall`](crate::ProtocolStats::validate_wall)
+    /// and [`barrier_wall`](crate::ProtocolStats::barrier_wall)). Off by
     /// default; `repro bench-throughput` turns it on.
     pub fn measure_host_costs(mut self, on: bool) -> Self {
         self.cfg.measure_host_costs = on;
@@ -255,6 +288,11 @@ impl Dsm {
                 "lazy diffing is only supported by the MW protocol".into(),
             ));
         }
+        if cfg.adapt_policy.is_some() && !cfg.protocol.is_adaptive() {
+            return Err(RunError::BadConfig(
+                "adaptation policies apply to the adaptive protocols (WFS, WFS+WG) only".into(),
+            ));
+        }
         cfg.npages = page_count(self.cursor).max(1);
         let nprocs = cfg.nprocs;
         let npages = cfg.npages;
@@ -274,6 +312,9 @@ impl Dsm {
 
         let access_cost = world.lock().cfg.cost.shared_access;
         let mem_per_byte_ns = world.lock().cfg.cost.mem_per_byte_ns;
+        // The single protocol-selection point: every entry point from
+        // here on dispatches through this object.
+        let proto = protocol_for(protocol);
         let mut joins = Vec::with_capacity(nprocs);
         for id in 0..nprocs {
             let mut proc = Proc {
@@ -282,6 +323,7 @@ impl Dsm {
                 nprocs,
                 world: world.clone(),
                 mems: mems.clone(),
+                proto,
                 raw: Proc::is_raw(protocol),
                 access_cost,
                 mem_per_byte_ns,
@@ -335,6 +377,7 @@ impl Dsm {
             .into_inner();
         w.proto.pool_pages_created = w.pool.pages_created();
         w.proto.pool_pages_reused = w.pool.pages_reused();
+        let sw_page_map = w.sw_page_map();
         let report = RunReport {
             protocol,
             nprocs,
@@ -344,8 +387,9 @@ impl Dsm {
             proto: w.proto.clone(),
             trace: w.trace.clone(),
             profile: w.profiler.summary(),
-            final_sw_pages: w.sw_majority_pages(),
             touched_pages: w.touched_pages(),
+            final_sw_pages: sw_page_map.iter().filter(|&&sw| sw).count(),
+            sw_page_map,
         };
 
         let mems = Arc::try_unwrap(mems)

@@ -16,8 +16,9 @@ use adsm_netsim::{MsgKind, NetStats, SimTime, Trace};
 use adsm_vclock::{IntervalId, ProcId, VectorClock};
 
 use crate::metrics::ProtocolStats;
-use crate::notice::{IntervalInfo, PendingNotice};
+use crate::notice::{IntervalRecord, PendingNotice, WriteNotice};
 use crate::profile::Profiler;
+use crate::protocol::policy::{self, AdaptPolicy};
 use crate::DsmConfig;
 
 /// Per-page, per-processor protocol mode (the paper's "state variable",
@@ -226,6 +227,120 @@ impl DiffStore {
     }
 }
 
+/// The cluster-wide interval log: every processor's closed intervals,
+/// indexed by processor and 1-based sequence number — the canonical
+/// happened-before-1 history the merge procedure and write-notice
+/// propagation read.
+///
+/// Ownership rule: **the log owns each record; shipping hands out
+/// shared handles.** A record's closing clock and write list are `Arc`s
+/// ([`IntervalRecord`]), so `integrate_from` — which used to deep-clone
+/// every shipped interval's write list on every notice ship — now pays
+/// a refcount bump per record at most
+/// ([`ProtocolStats::notice_ship_clones`] pins deep copies at zero).
+/// Garbage collection prunes write lists in place by swapping in one
+/// shared empty slice.
+#[derive(Debug, Default)]
+pub(crate) struct IntervalLog {
+    /// Per-processor records, indexed by `seq - 1`.
+    per_proc: Vec<Vec<IntervalRecord>>,
+    /// The shared empty write list GC swaps into pruned records.
+    empty: Option<Arc<[WriteNotice]>>,
+}
+
+impl IntervalLog {
+    pub fn new(nprocs: usize) -> Self {
+        IntervalLog {
+            per_proc: vec![Vec::new(); nprocs],
+            empty: None,
+        }
+    }
+
+    /// Appends `p`'s next closed interval.
+    pub fn push(&mut self, p: ProcId, record: IntervalRecord) {
+        self.per_proc[p.index()].push(record);
+    }
+
+    /// Number of intervals `q` has closed (== `q`'s own clock entry).
+    pub fn closed(&self, q: ProcId) -> u32 {
+        self.per_proc[q.index()].len() as u32
+    }
+
+    /// `q`'s records with sequence numbers in `(from, to]` — the slice a
+    /// notice ship covers when the receiver knows `from` of `q`'s
+    /// intervals and the sender knows `to`. Empty when the receiver
+    /// already knows at least as much as the sender (`from >= to`).
+    pub fn range(&self, q: ProcId, from: u32, to: u32) -> &[IntervalRecord] {
+        if from >= to {
+            return &[];
+        }
+        &self.per_proc[q.index()][from as usize..to as usize]
+    }
+
+    /// Looks up a closed interval's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval has not been closed (a protocol bug).
+    pub fn record(&self, id: IntervalId) -> &IntervalRecord {
+        &self.per_proc[id.proc.index()][(id.seq - 1) as usize]
+    }
+
+    /// Empties every record's write list (diff garbage collection:
+    /// everyone is provably up to date, so only the vector clocks —
+    /// which still order future merges — are retained). All pruned
+    /// records share one empty slice; outstanding shipped handles keep
+    /// the old lists alive until dropped, no copy either way.
+    pub fn prune_writes(&mut self) {
+        let empty = self.empty.get_or_insert_with(|| Vec::new().into()).clone();
+        for records in &mut self.per_proc {
+            for rec in records {
+                rec.writes = empty.clone();
+            }
+        }
+    }
+}
+
+/// A diff queued for application by the merge procedure: precomputed
+/// happened-before sort key, source interval, and a shared handle into
+/// the writer's store.
+#[derive(Clone, Debug)]
+pub(crate) struct KeyedDiff {
+    /// Linear-extension sort key (clock-component sum, proc, seq),
+    /// computed once at fetch time.
+    pub key: (u64, usize, u32),
+    /// The interval that created the diff.
+    pub interval: IntervalId,
+    /// Shared handle into the writer's per-page store.
+    pub diff: Arc<Diff>,
+}
+
+impl std::borrow::Borrow<Diff> for KeyedDiff {
+    fn borrow(&self) -> &Diff {
+        &self.diff
+    }
+}
+
+/// Reusable scratch for one `validate_page` invocation: the open
+/// session's delta diff (encoded in place with [`Diff::encode_into`])
+/// and the three working lists of the merge procedure. Held in a pool
+/// on the [`World`] so steady-state merges allocate nothing; the pool
+/// depth follows the validation recursion depth (a server validating
+/// its copy before serving draws a second scratch).
+#[derive(Debug, Default)]
+pub(crate) struct MergeScratch {
+    /// Uncommitted local delta of an open write session.
+    pub delta: Diff,
+    /// Snapshot of the page's pending notices, filtered in place down
+    /// to the surviving (non-dominated) set.
+    pub notices: Vec<PendingNotice>,
+    /// Distinct writers among the surviving notices.
+    pub writers: Vec<ProcId>,
+    /// Fetched diffs, sorted into happened-before order for the k-way
+    /// merge.
+    pub to_apply: Vec<KeyedDiff>,
+}
+
 /// One lock's distributed state (manager = statically assigned processor;
 /// grants come from the last releaser, as in TreadMarks).
 #[derive(Clone, Debug)]
@@ -271,8 +386,11 @@ pub(crate) struct World {
     pub cfg: DsmConfig,
     pub procs: Vec<ProcCtl>,
     pub pages: Vec<PageGlobal>,
-    /// Interval log per processor, indexed by `seq - 1`.
-    pub log: Vec<Vec<IntervalInfo>>,
+    /// The shared interval log (happened-before-1 history).
+    pub log: IntervalLog,
+    /// The run's adaptation policy: every SW/MW mode decision is a
+    /// query against this object (see `protocol::policy`).
+    pub policy: Box<dyn AdaptPolicy>,
     pub locks: BTreeMap<u64, LockState>,
     pub barrier: BarrierState,
     /// A processor's diff space crossed the GC threshold; collect at the
@@ -292,6 +410,9 @@ pub(crate) struct World {
     /// Recycling pool for twins, fetched pages and merge scratch: the
     /// steady state allocates no page buffers from the heap.
     pub pool: PagePool,
+    /// Recycled [`MergeScratch`] sets for `validate_page`; depth equals
+    /// the validation recursion depth, flat after warm-up.
+    pub merge_scratch: Vec<MergeScratch>,
 }
 
 impl World {
@@ -299,14 +420,25 @@ impl World {
         let nprocs = cfg.nprocs;
         let npages = cfg.npages;
         let initial_owner = ProcId::new(0);
+        let mut adapt = policy::build_policy(&cfg);
+        adapt.on_run_start(npages);
         // Under the pure MW protocol every page is handled MW from the
         // start; under SW and the adaptive protocols all pages start in
-        // SW mode (§3.3: "all pages start in SW mode").
+        // SW mode (§3.3: "all pages start in SW mode") — except pages
+        // the policy pins to MW (static hints), which start twinning
+        // immediately with no initial owner.
         let initial_mode = match cfg.protocol {
             // HLRC never holds page ownership: every page is handled with
             // twins and diffs (flushed to the home), i.e. MW mode.
             crate::ProtocolKind::Mw | crate::ProtocolKind::Hlrc => PageMode::Mw,
             _ => PageMode::Sw,
+        };
+        let mode_of = |pg: usize| {
+            if initial_mode == PageMode::Sw && adapt.page_starts_mw(pg) {
+                PageMode::Mw
+            } else {
+                initial_mode
+            }
         };
         World {
             procs: (0..nprocs)
@@ -314,8 +446,8 @@ impl World {
                     vc: VectorClock::new(nprocs),
                     dirty: Vec::new(),
                     pages: (0..npages)
-                        .map(|_| PageCtl {
-                            mode: initial_mode,
+                        .map(|pg| PageCtl {
+                            mode: mode_of(pg),
                             ..PageCtl::default()
                         })
                         .collect(),
@@ -324,9 +456,16 @@ impl World {
                 })
                 .collect(),
             pages: (0..npages)
-                .map(|_| PageGlobal::new(nprocs, initial_owner))
+                .map(|pg| {
+                    let mut g = PageGlobal::new(nprocs, initial_owner);
+                    if initial_mode == PageMode::Sw && adapt.page_starts_mw(pg) {
+                        g.owner = None;
+                    }
+                    g
+                })
                 .collect(),
-            log: vec![Vec::new(); nprocs],
+            log: IntervalLog::new(nprocs),
+            policy: adapt,
             locks: BTreeMap::new(),
             barrier: BarrierState {
                 arrived: vec![None; nprocs],
@@ -341,8 +480,28 @@ impl World {
             trace: Trace::new(),
             profiler: Profiler::new(nprocs, npages),
             pool: PagePool::new(),
+            merge_scratch: Vec::new(),
             cfg,
         }
+    }
+
+    /// Draws a merge scratch set from the pool (heap-allocating only on
+    /// a pool miss, counted in
+    /// [`ProtocolStats::merge_scratch_created`]).
+    pub fn take_scratch(&mut self) -> MergeScratch {
+        self.merge_scratch.pop().unwrap_or_else(|| {
+            self.proto.merge_scratch_created += 1;
+            MergeScratch::default()
+        })
+    }
+
+    /// Returns a scratch set to the pool, emptied but with its buffer
+    /// capacity intact.
+    pub fn put_scratch(&mut self, mut scratch: MergeScratch) {
+        scratch.notices.clear();
+        scratch.writers.clear();
+        scratch.to_apply.clear();
+        self.merge_scratch.push(scratch);
     }
 
     pub fn nprocs(&self) -> usize {
@@ -354,8 +513,8 @@ impl World {
     /// # Panics
     ///
     /// Panics if the interval has not been closed (a protocol bug).
-    pub fn interval(&self, id: IntervalId) -> &IntervalInfo {
-        &self.log[id.proc.index()][(id.seq - 1) as usize]
+    pub fn interval(&self, id: IntervalId) -> &IntervalRecord {
+        self.log.record(id)
     }
 
     /// Vector clock of a closed interval.
@@ -409,12 +568,14 @@ impl World {
         self.pages.iter().filter(|p| p.touched).count()
     }
 
-    /// Pages whose mode is SW on a majority of processors (final
-    /// adaptation outcome).
-    pub fn sw_majority_pages(&self) -> usize {
+    /// Per-page final adaptation outcome: is the page touched and in SW
+    /// mode on a majority of processors? The basis of
+    /// [`RunReport::sw_page_map`](crate::RunReport::sw_page_map), which
+    /// static-hint policies feed from profiling runs.
+    pub fn sw_page_map(&self) -> Vec<bool> {
         let half = self.nprocs() / 2;
         (0..self.cfg.npages)
-            .filter(|&pg| {
+            .map(|pg| {
                 self.pages[pg].touched
                     && self
                         .procs
@@ -423,7 +584,7 @@ impl World {
                         .count()
                         > half
             })
-            .count()
+            .collect()
     }
 }
 
@@ -527,17 +688,17 @@ mod tests {
     }
 
     #[test]
-    fn sw_majority_counts_touched_pages_only() {
+    fn sw_page_map_counts_touched_pages_only() {
         let mut w = world(2);
-        // Nothing touched: zero.
-        assert_eq!(w.sw_majority_pages(), 0);
+        // Nothing touched: all false.
+        assert_eq!(w.sw_page_map(), vec![false, false]);
         w.touch(PageId::new(0));
         // All procs default to SW mode.
-        assert_eq!(w.sw_majority_pages(), 1);
+        assert_eq!(w.sw_page_map(), vec![true, false]);
         // Flip 3 of 4 procs to MW for page 0.
         for p in 0..3 {
             w.procs[p].pages[0].mode = PageMode::Mw;
         }
-        assert_eq!(w.sw_majority_pages(), 0);
+        assert_eq!(w.sw_page_map(), vec![false, false]);
     }
 }

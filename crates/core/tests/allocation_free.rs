@@ -150,6 +150,48 @@ fn merge_path_steady_state_is_allocation_and_clone_free() {
     );
 }
 
+/// The merge procedure's transient state — the open session's delta
+/// diff (`Diff::encode_into` scratch) and the three working lists —
+/// comes from the world's scratch pool: extra steady-state iterations
+/// run strictly more merges without building a single new scratch set.
+#[test]
+fn validate_page_scratch_is_pooled_after_warmup() {
+    let short = run_false_sharing(3);
+    let long = run_false_sharing(9);
+    assert!(
+        long.proto.merge_scratch_created > 0,
+        "warm-up must have built at least one scratch set"
+    );
+    assert_eq!(
+        long.proto.merge_scratch_created, short.proto.merge_scratch_created,
+        "extra steady-state merges allocated scratch sets"
+    );
+    // The same holds on the regular (SOR) path across protocols.
+    for protocol in [ProtocolKind::Mw, ProtocolKind::Wfs] {
+        let short = run_sor(protocol, 3);
+        let long = run_sor(protocol, 9);
+        assert_eq!(
+            long.proto.merge_scratch_created, short.proto.merge_scratch_created,
+            "{protocol}: steady-state SOR iterations allocated scratch sets"
+        );
+    }
+}
+
+/// Notice shipping is refcount bumps into the shared interval log:
+/// the deep-copy tripwire stays at zero however many intervals travel.
+#[test]
+fn notice_shipping_never_deep_clones() {
+    for protocol in [ProtocolKind::Mw, ProtocolKind::Wfs] {
+        let report = run_sor(protocol, 9);
+        assert_eq!(
+            report.proto.notice_ship_clones, 0,
+            "{protocol}: notice shipping must not deep-clone write lists"
+        );
+    }
+    let report = run_false_sharing(9);
+    assert_eq!(report.proto.notice_ship_clones, 0);
+}
+
 /// The pool's working set stays bounded by the live twin population
 /// instead of scaling with run length: created buffers are far fewer
 /// than the buffer demand (hits + misses).

@@ -318,14 +318,19 @@ impl Diff {
     /// what lets the merge advance one cursor per diff instead of
     /// re-scanning.
     ///
+    /// The slice is generic over [`Borrow`](std::borrow::Borrow) so
+    /// callers can merge straight from whatever owns their diffs —
+    /// `&[&Diff]`, `&[Arc<Diff>]`, or a keyed wrapper — without
+    /// materialising a reference list first.
+    ///
     /// # Panics
     ///
     /// Panics unless `page` is exactly one page long.
-    pub fn apply_many(diffs: &[&Diff], page: &mut [u8]) {
+    pub fn apply_many<D: std::borrow::Borrow<Diff>>(diffs: &[D], page: &mut [u8]) {
         assert_eq!(page.len(), PAGE_SIZE, "target must be one page");
         match diffs {
             [] => return,
-            [d] => return d.apply(page),
+            [d] => return d.borrow().apply(page),
             _ => {}
         }
         // One cursor per diff: the current run and its data offset.
@@ -337,11 +342,14 @@ impl Diff {
         }
         let mut cursors: Vec<Cursor<'_>> = diffs
             .iter()
-            .map(|d| Cursor {
-                runs: &d.runs,
-                data: &d.data,
-                idx: 0,
-                data_off: 0,
+            .map(|d| {
+                let d = d.borrow();
+                Cursor {
+                    runs: &d.runs,
+                    data: &d.data,
+                    idx: 0,
+                    data_off: 0,
+                }
             })
             .collect();
         // Sweep the page in maximal segments over which the set of
@@ -613,7 +621,7 @@ mod tests {
     fn apply_many_of_nothing_is_identity() {
         let mut page = page_with(&[(3, 9)]);
         let orig = page.clone();
-        Diff::apply_many(&[], &mut page);
+        Diff::apply_many::<&Diff>(&[], &mut page);
         assert_eq!(page, orig);
         let empty = Diff::default();
         Diff::apply_many(&[&empty, &empty], &mut page);

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so this workspace-local
 //! shim implements the slice of the proptest API the test suites use:
-//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! the [`Strategy`] trait — `prop_map` /
 //! `prop_flat_map`, integer-range and tuple strategies, [`Just`],
 //! `any::<T>()`, `prop::collection::vec`, `prop_oneof!`, and the
 //! `proptest!` / `prop_assert*!` macros.
