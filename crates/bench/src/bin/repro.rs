@@ -14,8 +14,13 @@
 //! --smoke  bench-throughput at tiny scale / 4 procs (CI-budget run)
 //! --check  fail (exit 1) when a benchmark regresses past the seed
 //!          floors (sparse encode speedup, allocs/interval, fetch-path
-//!          clones, merge speedup, pool copy ratio)
+//!          clones, merge speedup, pool copy ratio; for
+//!          bench-throughput also the clone/skip invariants and, at
+//!          smoke settings, the barrier fan-in ceiling)
 //! ```
+//!
+//! The emitted JSON files are documented field-by-field in
+//! `docs/BENCH_SCHEMA.md`.
 
 use std::process::ExitCode;
 
@@ -131,6 +136,13 @@ mod seed_floors {
     pub const POOL_COPY_RATIO_MAX: f64 = 1.5;
     /// Exact: steady state allocates nothing.
     pub const ALLOCS_PER_INTERVAL_MAX: f64 = 0.0;
+    /// Ceiling on the episode-weighted mean barrier fan-in cost (ns)
+    /// of the throughput matrix at the CI smoke settings (tiny scale,
+    /// 4 procs). The batched fan-in measures ≈2.0–2.3 µs there
+    /// (≈3.5 µs before the frontier sweep); the ceiling carries >3×
+    /// slack for slow CI machines while still catching a reversion to
+    /// per-pair integration.
+    pub const BARRIER_FANIN_MEAN_MAX_NS: f64 = 8000.0;
 }
 
 /// Applies the `--check` regression gate to a fresh hotpaths report.
@@ -261,7 +273,18 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
-            eprintln!("throughput invariant gate: pass");
+            // Barrier fan-in floor: only meaningful at the calibrated
+            // smoke settings (absolute ns ceilings do not transfer
+            // across scales).
+            let fanin = report.barrier_fanin_mean_ns();
+            if opts.smoke && fanin > seed_floors::BARRIER_FANIN_MEAN_MAX_NS {
+                eprintln!(
+                    "REGRESSION: barrier fan-in mean {fanin:.0} ns > ceiling {:.0} ns",
+                    seed_floors::BARRIER_FANIN_MEAN_MAX_NS
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("throughput invariant gate: pass (barrier fan-in mean {fanin:.0} ns)");
         }
     }
 

@@ -18,14 +18,15 @@ use adsm_apps::{run_app_tuned, App, RunOptions, Scale};
 use adsm_core::{ProtocolKind, RunReport};
 
 /// The protocol configurations swept per application: the four
-/// protocols of the paper's Figure 2 plus the SC comparator, whose
-/// fault handling carries the same host-cost instrumentation as the
-/// LRC merge path.
+/// protocols of the paper's Figure 2 (derived from
+/// [`ProtocolKind::EVALUATED`], so the lists cannot drift apart) plus
+/// the SC comparator, whose fault handling carries the same host-cost
+/// instrumentation as the LRC merge path.
 pub const THROUGHPUT_PROTOCOLS: [ProtocolKind; 5] = [
-    ProtocolKind::Mw,
-    ProtocolKind::WfsWg,
-    ProtocolKind::Wfs,
-    ProtocolKind::Sw,
+    ProtocolKind::EVALUATED[0],
+    ProtocolKind::EVALUATED[1],
+    ProtocolKind::EVALUATED[2],
+    ProtocolKind::EVALUATED[3],
     ProtocolKind::Sc,
 ];
 
@@ -49,9 +50,18 @@ pub struct ThroughputRow {
     pub validate_mean_ns: f64,
     pub validate_calls: u64,
     /// Barrier fan-in host cost (ns, mean over episodes) and episode
-    /// count (zero for lock-only apps).
+    /// count (zero for lock-only apps). The fan-in is the batched
+    /// completion sweep: frontier collection, per-proc integration,
+    /// mechanism 3, GC and the release broadcast.
     pub barrier_mean_ns: f64,
     pub barrier_episodes: u64,
+    /// Barrier fan-in percentiles (ns) over the run's episodes.
+    pub barrier_p50_ns: u64,
+    pub barrier_p90_ns: u64,
+    pub barrier_p99_ns: u64,
+    /// Write-notice lists heap-allocated at interval close (steady
+    /// state shares the previous record's list; warm-up only).
+    pub interval_close_allocs: u64,
     /// Deep diff copies on the validation fetch path (must stay 0).
     pub diff_fetch_clones: u64,
     /// Diffs handed to the merge procedure as shared handles.
@@ -94,6 +104,22 @@ impl ThroughputReport {
         }
     }
 
+    /// Episode-weighted mean barrier fan-in cost (ns) across the whole
+    /// matrix — the aggregate `repro bench-throughput --check` gates
+    /// against the seed ceiling. Zero when no row has barriers.
+    pub fn barrier_fanin_mean_ns(&self) -> f64 {
+        let episodes: u64 = self.rows.iter().map(|r| r.barrier_episodes).sum();
+        if episodes == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.barrier_mean_ns * r.barrier_episodes as f64)
+            .sum();
+        total / episodes as f64
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -105,6 +131,11 @@ impl ThroughputReport {
             s,
             "  \"total_events_per_sec\": {:.0},",
             self.total_events_per_sec()
+        );
+        let _ = writeln!(
+            s,
+            "  \"barrier_fanin_mean_ns\": {:.0},",
+            self.barrier_fanin_mean_ns()
         );
         let _ = writeln!(s, "  \"apps\": {{");
         let apps: Vec<App> = App::ALL
@@ -134,6 +165,26 @@ impl ThroughputReport {
                     s,
                     "        \"barrier_fanin_mean_ns\": {:.0},",
                     row.barrier_mean_ns
+                );
+                let _ = writeln!(
+                    s,
+                    "        \"barrier_fanin_p50_ns\": {},",
+                    row.barrier_p50_ns
+                );
+                let _ = writeln!(
+                    s,
+                    "        \"barrier_fanin_p90_ns\": {},",
+                    row.barrier_p90_ns
+                );
+                let _ = writeln!(
+                    s,
+                    "        \"barrier_fanin_p99_ns\": {},",
+                    row.barrier_p99_ns
+                );
+                let _ = writeln!(
+                    s,
+                    "        \"interval_close_allocs\": {},",
+                    row.interval_close_allocs
                 );
                 let _ = writeln!(s, "        \"diffs_fetched\": {},", row.diffs_fetched);
                 let _ = writeln!(
@@ -203,6 +254,10 @@ pub fn measure_throughput_filtered(nprocs: usize, scale: Scale, apps: &[App]) ->
                 validate_calls: vw.count(),
                 barrier_mean_ns: bw.mean_ns(),
                 barrier_episodes: bw.count(),
+                barrier_p50_ns: bw.percentile_ns(0.50),
+                barrier_p90_ns: bw.percentile_ns(0.90),
+                barrier_p99_ns: bw.percentile_ns(0.99),
+                interval_close_allocs: report.proto.interval_close_allocs,
                 diff_fetch_clones: report.proto.diff_fetch_clones,
                 diffs_fetched: report.proto.diffs_fetched,
                 missing_diff_skips: report.proto.missing_diff_skips,
@@ -263,6 +318,7 @@ mod tests {
     fn tiny_matrix_measures_and_renders() {
         let r = measure_throughput_filtered(2, Scale::Tiny, &[App::Sor]);
         assert_eq!(r.rows.len(), 5);
+        assert!(r.barrier_fanin_mean_ns() > 0.0);
         for row in &r.rows {
             assert!(row.sim_events > 0);
             assert!(row.events_per_sec > 0.0);
@@ -292,6 +348,8 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"SOR\""));
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"barrier_fanin_p99_ns\""));
+        assert!(json.contains("\"interval_close_allocs\""));
         assert!(summary_table(&r).contains("SOR"));
     }
 }

@@ -226,6 +226,17 @@ pub struct DsmConfig {
     /// Home assignment for the home-based LRC comparator
     /// ([`ProtocolKind::Hlrc`]); ignored by every other protocol.
     pub home_policy: HomePolicy,
+    /// HLRC comparator: defer the interval-close diff encode until the
+    /// home's copy is actually demanded (a fetch from the home, a
+    /// write notice reaching the home, or the end-of-run image
+    /// assembly). Consecutive closes of the same page coalesce into
+    /// one encode; the
+    /// [`lazy_flush_hits`](crate::ProtocolStats::lazy_flush_hits) /
+    /// [`lazy_flush_encodes`](crate::ProtocolStats::lazy_flush_encodes)
+    /// counter pair measures the saving. Off by default (the eager
+    /// encoding is the committed baseline); ignored by every protocol
+    /// but [`ProtocolKind::Hlrc`].
+    pub hlrc_lazy_flush: bool,
     /// Schedule-fuzzing seed: when set, the engine picks the next
     /// processor pseudo-randomly at every turn point instead of by least
     /// virtual clock. Results of data-race-free programs must not change;
@@ -262,6 +273,7 @@ impl DsmConfig {
             npages: 0,
             migratory_opt: false,
             home_policy: HomePolicy::default(),
+            hlrc_lazy_flush: false,
             schedule_fuzz: None,
             diff_strategy: DiffStrategy::default(),
             adapt_policy: None,

@@ -62,6 +62,8 @@
 //! assert!(vals.iter().enumerate().all(|(i, &v)| v == i as u64));
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod memio;
 mod metrics;

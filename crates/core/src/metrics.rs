@@ -88,6 +88,30 @@ pub struct ProtocolStats {
     /// misses). Flat after warm-up: steady-state merges draw their
     /// delta diff and working lists from the world's scratch pool.
     pub merge_scratch_created: u64,
+    /// Write-notice lists heap-allocated at interval close. Closing an
+    /// interval compares the fresh notice list against the processor's
+    /// previous record and **shares** that record's `Arc` when the list
+    /// is unchanged — the steady state of an iterative application
+    /// (same pages written every interval) — so this counter is flat
+    /// after warm-up (asserted in `allocation_free.rs`). The closing
+    /// vector-clock snapshot is accounted separately: every close still
+    /// allocates its `Arc<VectorClock>`, since record clocks are
+    /// pinned by the log for the whole run.
+    pub interval_close_allocs: u64,
+    /// HLRC lazy flush
+    /// ([`DsmConfig::hlrc_lazy_flush`](crate::DsmConfig::hlrc_lazy_flush)):
+    /// interval closes that *deferred* their diff encode (the twin was
+    /// parked as the flush base instead of being encoded and shipped to
+    /// the home).
+    pub lazy_flush_hits: u64,
+    /// HLRC lazy flush: deferred encodes actually performed later,
+    /// when the home's copy was demanded (a fetch from the home, a
+    /// write notice reaching the home, or the end-of-run image
+    /// assembly). `lazy_flush_hits - lazy_flush_encodes` intervals
+    /// were coalesced into a neighbouring flush and never paid an
+    /// encode of their own; with no reader demand at all this stays at
+    /// **zero** (asserted in `allocation_free.rs`).
+    pub lazy_flush_encodes: u64,
     /// Host wall-clock cost of `validate_page` calls (the paper's merge
     /// procedure). Only populated when
     /// [`measure_host_costs`](crate::DsmBuilder::measure_host_costs) is

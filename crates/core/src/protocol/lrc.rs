@@ -9,9 +9,11 @@ use adsm_netsim::{MsgKind, SimTime, TraceKind};
 use adsm_vclock::{IntervalId, ProcId, VectorClock};
 use parking_lot::Mutex;
 
+use crate::metrics::ProtocolStats;
 use crate::notice::{IntervalRecord, NoticeKind, PendingNotice, WriteNotice};
-use crate::world::{KeyedDiff, PageMode, World};
-use crate::ProtocolKind;
+use crate::protocol::policy::AdaptPolicy;
+use crate::world::{KeyedDiff, PageGlobal, PageMode, ProcCtl, World};
+use crate::{DsmConfig, ProtocolKind};
 
 /// Everything a protocol operation needs: the world, every processor's
 /// memory, and the engine task of the processor whose turn it is.
@@ -88,11 +90,14 @@ pub(crate) fn close_interval(
     let id = IntervalId::new(p, seq);
     let closing_vc = w.procs[p.index()].vc.clone();
 
-    let mut writes: Vec<WriteNotice> = Vec::with_capacity(dirty.len());
-    let mut grain_events: Vec<usize> = Vec::new();
+    // The write-notice list is built in a pooled buffer and, below,
+    // only becomes a fresh heap allocation when it differs from the
+    // previous interval's list.
+    let mut writes = std::mem::take(&mut w.notice_build);
+    debug_assert!(writes.is_empty());
     let mut trace_diff = false;
 
-    for page in dirty {
+    for &page in &dirty {
         let mode = w.procs[p.index()].pages[page.index()].mode;
         match mode {
             PageMode::Sw => {
@@ -133,17 +138,39 @@ pub(crate) fn close_interval(
                 mems[p.index()].lock().set_rights(page, AccessRights::Read);
                 w.procs[p.index()].pages[page.index()].dirty = false;
                 if let Some(twin) = twin {
-                    let diff = {
-                        let mem = mems[p.index()].lock();
-                        adsm_mempage::Diff::encode(&twin, mem.page(page))
-                    };
-                    w.proto.twin_dropped(PAGE_SIZE);
-                    let modified = diff.modified_bytes();
-                    cost += w.cfg.cost.diff_create(modified);
-                    cost += super::hlrc::flush_diff_to_home(w, mems, p, page, &diff);
-                    grain_events.push(modified);
-                    trace_diff = true;
-                    w.pages[page.index()].last_diff_bytes = modified;
+                    if w.cfg.hlrc_lazy_flush {
+                        // Lazy flush: defer the encode by parking the
+                        // twin as the page's flush base. A base parked
+                        // by an earlier interval subsumes this one —
+                        // the diff against the *older* image covers
+                        // every interval closed since — so later twins
+                        // are discarded and consecutive closes coalesce
+                        // into one eventual encode
+                        // (`hlrc::force_flush_page`).
+                        w.proto.lazy_flush_hits += 1;
+                        let pc = &mut w.procs[p.index()].pages[page.index()];
+                        if pc.flush_pending.is_none() {
+                            // The parked twin stays in the memory
+                            // accounting: retention between close and
+                            // forced encode *is* the deferral's cost,
+                            // exactly like lazy diffing's.
+                            pc.flush_pending = Some(twin);
+                        } else {
+                            w.proto.twin_dropped(PAGE_SIZE);
+                        }
+                    } else {
+                        let diff = {
+                            let mem = mems[p.index()].lock();
+                            adsm_mempage::Diff::encode(&twin, mem.page(page))
+                        };
+                        w.proto.twin_dropped(PAGE_SIZE);
+                        let modified = diff.modified_bytes();
+                        cost += w.cfg.cost.diff_create(modified);
+                        cost += super::hlrc::flush_diff_to_home(w, mems, p, page, &diff);
+                        w.profiler.note_grain(modified);
+                        trace_diff = true;
+                        w.pages[page.index()].last_diff_bytes = modified;
+                    }
                 }
                 writes.push(WriteNotice {
                     page,
@@ -216,7 +243,7 @@ pub(crate) fn close_interval(
                 cost += w.cfg.cost.diff_create(modified);
                 w.proto.diff_created(diff.wire_size());
                 w.procs[p.index()].diffs.insert(page, id, diff);
-                grain_events.push(modified);
+                w.profiler.note_grain(modified);
                 trace_diff = true;
 
                 w.pages[page.index()].last_diff_bytes = modified;
@@ -254,19 +281,32 @@ pub(crate) fn close_interval(
         let others = w.profiler.other_writers(page, p);
         let concurrent = others.iter().any(|iv| !closing_vc.covers(*iv));
         w.profiler.note_write(page, p, id, concurrent);
-        w.barrier_notice_pages.insert(page);
     }
 
-    for g in grain_events {
-        w.profiler.note_grain(g);
-    }
+    // Steady-state closes allocate no notice list: when the fresh list
+    // equals the previous interval's (the common case for iterative
+    // applications — the same pages written with the same notice kinds
+    // every interval), the previous record's `Arc` is shared instead of
+    // re-allocated. `interval_close_allocs` counts the misses and is
+    // flat after warm-up (`allocation_free.rs`).
+    let writes_arc: Arc<[WriteNotice]> = match w.log.last_record(p) {
+        Some(prev) if prev.writes.as_ref() == writes.as_slice() => Arc::clone(&prev.writes),
+        _ => {
+            w.proto.interval_close_allocs += 1;
+            Arc::from(writes.as_slice())
+        }
+    };
+    writes.clear();
+    w.notice_build = writes;
+    dirty.clear();
+    w.procs[p.index()].dirty = dirty;
 
     w.log.push(
         p,
         IntervalRecord {
             id,
             vc: Arc::new(closing_vc),
-            writes: writes.into(),
+            writes: writes_arc,
         },
     );
     debug_assert_eq!(w.log.closed(p), seq);
@@ -339,131 +379,252 @@ pub(crate) fn integrate_from(
     src_vc: &VectorClock,
 ) -> usize {
     let nprocs = w.nprocs();
-    // Disjoint borrows: the log is read, everything else is written.
-    let World {
-        log,
-        procs,
-        pages,
-        cfg,
-        policy,
-        proto,
-        ..
-    } = w;
-    let adaptive = policy.adapts();
+    let mut owner_pages = std::mem::take(&mut w.bscratch.owner_pages);
     let mut bytes = 0usize;
-    // Pages that received an owner notice in this ship (for mechanism 2).
-    let mut owner_pages: Vec<PageId> = Vec::new();
+    {
+        // Disjoint borrows: the log is read, everything else is written.
+        let World {
+            log,
+            procs,
+            pages,
+            cfg,
+            policy,
+            proto,
+            ..
+        } = w;
+        let policy: &dyn AdaptPolicy = &**policy;
+        let adaptive = policy.adapts();
 
-    for q in ProcId::all(nprocs) {
-        if q == p {
+        // One lock acquisition for the whole ship: every invalidation
+        // the records carry targets `p`'s memory.
+        let mut mem = mems[p.index()].lock();
+        for q in ProcId::all(nprocs) {
+            if q == p {
+                continue;
+            }
+            let from = procs[p.index()].vc.get(q);
+            let to = src_vc.get(q);
+            for rec in log.range(q, from, to) {
+                bytes += rec.wire_size();
+                ship_record_to(
+                    procs,
+                    pages,
+                    cfg,
+                    policy,
+                    proto,
+                    &mut mem,
+                    p,
+                    rec,
+                    adaptive,
+                    &mut owner_pages,
+                );
+            }
+        }
+        drop(mem);
+
+        if adaptive {
+            promote_on_owner_notices(procs, pages, policy, proto, p, &mut owner_pages);
+        }
+        procs[p.index()].vc.merge(src_vc);
+    }
+    owner_pages.clear();
+    w.bscratch.owner_pages = owner_pages;
+    bytes
+}
+
+/// The batched barrier fan-in's per-processor integration: applies to
+/// `p` every record of the barrier's notice frontier that `p` has not
+/// covered, in the same (writer, seq) order the pair-wise
+/// [`integrate_from`] would walk, and merges the global clock. The
+/// frontier was collected in **one** sweep of the shared log
+/// (`sync::barrier_arrive`), so barrier completion costs one log pass
+/// plus the per-processor record applications — instead of one full
+/// pair-wise range scan per departing processor. Returns the payload
+/// size of the records shipped to `p` (its release-broadcast payload).
+pub(crate) fn integrate_frontier(
+    w: &mut World,
+    mems: &[Mutex<PagedMemory>],
+    p: ProcId,
+    frontier: &[IntervalId],
+    global_vc: &VectorClock,
+) -> usize {
+    let mut owner_pages = std::mem::take(&mut w.bscratch.owner_pages);
+    let mut bytes = 0usize;
+    {
+        let World {
+            log,
+            procs,
+            pages,
+            cfg,
+            policy,
+            proto,
+            ..
+        } = w;
+        let policy: &dyn AdaptPolicy = &**policy;
+        let adaptive = policy.adapts();
+
+        // One lock acquisition for the whole slice of the frontier.
+        let mut mem = mems[p.index()].lock();
+        for &id in frontier {
+            // Covered records (p's own, or shipped to p earlier through
+            // a lock grant) are exactly what the pair-wise walk's
+            // per-writer range excluded.
+            if procs[p.index()].vc.covers(id) {
+                continue;
+            }
+            let rec = log.record(id);
+            bytes += rec.wire_size();
+            ship_record_to(
+                procs,
+                pages,
+                cfg,
+                policy,
+                proto,
+                &mut mem,
+                p,
+                rec,
+                adaptive,
+                &mut owner_pages,
+            );
+        }
+        drop(mem);
+
+        if adaptive {
+            promote_on_owner_notices(procs, pages, policy, proto, p, &mut owner_pages);
+        }
+        procs[p.index()].vc.merge(global_vc);
+    }
+    owner_pages.clear();
+    w.bscratch.owner_pages = owner_pages;
+    bytes
+}
+
+/// Applies one shipped interval record to `p`: invalidation, pending
+/// notices, HVN bookkeeping, on-the-fly notice GC and the SW→MW
+/// demotion observations of §3.1.1. The single body behind both
+/// notice-shipping paths — the pair-wise lock-grant ship
+/// ([`integrate_from`]) and the batched barrier fan-in
+/// ([`integrate_frontier`]) — so the two stay identical by
+/// construction (`frontier_equivalence` proptests pin the record sets,
+/// this function pins the per-record effects).
+#[allow(clippy::too_many_arguments)]
+fn ship_record_to(
+    procs: &mut [ProcCtl],
+    pages: &mut [PageGlobal],
+    cfg: &DsmConfig,
+    policy: &dyn AdaptPolicy,
+    proto: &mut ProtocolStats,
+    mem: &mut PagedMemory,
+    p: ProcId,
+    rec: &IntervalRecord,
+    adaptive: bool,
+    owner_pages: &mut Vec<PageId>,
+) {
+    let interval = rec.id;
+    for &WriteNotice { page, kind } in rec.writes.iter() {
+        let pg_idx = page.index();
+        // The HLRC home's frame already contains every flushed
+        // modification, so notices carry no work for it: no
+        // invalidation, no pending entry. Under lazy flushing the
+        // writer may still be sitting on a deferred diff, so the
+        // home's frame access is dropped instead — its next touch (or
+        // a fetch on its behalf) faults into `fetch_from_home`, which
+        // forces the outstanding encodes. The notice itself is not the
+        // demand; the home's actual re-read or a serve is.
+        if cfg.protocol == ProtocolKind::Hlrc && pages[pg_idx].home == Some(p) {
+            if cfg.hlrc_lazy_flush {
+                mem.set_rights(page, AccessRights::None);
+            }
             continue;
         }
-        let from = procs[p.index()].vc.get(q);
-        let to = src_vc.get(q);
-        for rec in log.range(q, from, to) {
-            bytes += rec.wire_size();
-            let interval = rec.id;
-            for &WriteNotice { page, kind } in rec.writes.iter() {
-                let pg_idx = page.index();
-                // The HLRC home's frame already contains every flushed
-                // modification, so notices carry no work for it: no
-                // invalidation, no pending entry.
-                if cfg.protocol == ProtocolKind::Hlrc && pages[pg_idx].home == Some(p) {
-                    continue;
-                }
-                // Invalidate the local copy.
-                mems[p.index()].lock().set_rights(page, AccessRights::None);
+        // Invalidate the local copy.
+        mem.set_rights(page, AccessRights::None);
 
-                match kind {
-                    NoticeKind::Owner(version) => {
-                        let pc = &mut procs[p.index()].pages[pg_idx];
-                        let better = pc.hvn.is_none_or(|h| version > h.version);
-                        if better {
-                            pc.hvn = Some(crate::world::Hvn {
-                                version,
-                                proc: interval.proc,
-                            });
-                        }
-                        owner_pages.push(page);
-                        // On-the-fly notice GC (§3.1.1): discard pending
-                        // notices dominated by the owner notice.
-                        let dominated: Vec<usize> = pc
-                            .missing
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, n)| rec.vc.covers(n.interval))
-                            .map(|(i, _)| i)
-                            .collect();
-                        for i in dominated.into_iter().rev() {
-                            pc.missing.remove(i);
-                        }
-                        pc.missing.push(PendingNotice { interval, kind });
+        match kind {
+            NoticeKind::Owner(version) => {
+                let pc = &mut procs[p.index()].pages[pg_idx];
+                let better = pc.hvn.is_none_or(|h| version > h.version);
+                if better {
+                    pc.hvn = Some(crate::world::Hvn {
+                        version,
+                        proc: interval.proc,
+                    });
+                }
+                owner_pages.push(page);
+                // On-the-fly notice GC (§3.1.1): discard pending
+                // notices dominated by the owner notice — one stable
+                // in-place compaction, no index list.
+                pc.missing.retain(|n| !rec.vc.covers(n.interval));
+                pc.missing.push(PendingNotice { interval, kind });
+            }
+            NoticeKind::NonOwner => {
+                let pc = &mut procs[p.index()].pages[pg_idx];
+                if !pc.missing.iter().any(|n| n.interval == interval) {
+                    pc.missing.push(PendingNotice { interval, kind });
+                }
+                if adaptive {
+                    // A non-owner notice is evidence of concurrent
+                    // (MW) writing: this processor perceives write
+                    // sharing on the page. An owner with an open
+                    // (un-twinned) write session cannot flip yet —
+                    // it first emits its final owner notice at the
+                    // next interval close (§3.1.1), which performs
+                    // the flip.
+                    let sw_dirty = pc.dirty && pc.twin.is_none();
+                    // One decision for both transitions below: the
+                    // mode flip and the ownership drop must never
+                    // diverge for the same notice.
+                    let demote = policy.demote_on_concurrent_notice(pg_idx);
+                    if pc.mode != PageMode::Mw && !sw_dirty && demote {
+                        pc.mode = PageMode::Mw;
+                        proto.switches_to_mw += 1;
                     }
-                    NoticeKind::NonOwner => {
-                        let pc = &mut procs[p.index()].pages[pg_idx];
-                        if !pc.missing.iter().any(|n| n.interval == interval) {
-                            pc.missing.push(PendingNotice { interval, kind });
-                        }
-                        if adaptive {
-                            // A non-owner notice is evidence of concurrent
-                            // (MW) writing: this processor perceives write
-                            // sharing on the page. An owner with an open
-                            // (un-twinned) write session cannot flip yet —
-                            // it first emits its final owner notice at the
-                            // next interval close (§3.1.1), which performs
-                            // the flip.
-                            let sw_dirty = pc.dirty && pc.twin.is_none();
-                            if pc.mode != PageMode::Mw
-                                && !sw_dirty
-                                && policy.demote_on_concurrent_notice(pg_idx)
-                            {
-                                pc.mode = PageMode::Mw;
-                                proto.switches_to_mw += 1;
-                            }
-                            // FS onset seen by the page's current owner:
-                            // drop ownership — immediately if it has no
-                            // uncommitted writes, else at its next close.
-                            if pages[pg_idx].owner == Some(p)
-                                && policy.demote_on_concurrent_notice(pg_idx)
-                            {
-                                if sw_dirty {
-                                    pages[pg_idx].drop_pending = true;
-                                } else {
-                                    pages[pg_idx].owner = None;
-                                }
-                            }
+                    // FS onset seen by the page's current owner:
+                    // drop ownership — immediately if it has no
+                    // uncommitted writes, else at its next close.
+                    if pages[pg_idx].owner == Some(p) && demote {
+                        if sw_dirty {
+                            pages[pg_idx].drop_pending = true;
+                        } else {
+                            pages[pg_idx].owner = None;
                         }
                     }
                 }
             }
         }
     }
+}
 
-    // Detection mechanism 2 (§3.1.2): a new owner notice with no
-    // surviving concurrent non-owner notices means write-write false
-    // sharing has stopped — if the policy agrees the page is worth SW
-    // handling (WFS+WG gives priority to the false-sharing test but
-    // then decides on diff size: small diffs keep MW).
-    if adaptive {
-        owner_pages.sort_unstable();
-        owner_pages.dedup();
-        for page in owner_pages {
-            let wants = pages[page.index()].wants_sw;
-            let pc = &mut procs[p.index()].pages[page.index()];
-            let has_concurrent = pc.missing.iter().any(|n| !n.kind.is_owner());
-            if !has_concurrent
-                && pc.mode == PageMode::Mw
-                && policy.promote_to_sw_ok(page.index(), wants)
-                && pc.twin.is_none()
-            {
-                pc.mode = PageMode::Sw;
-                proto.switches_to_sw += 1;
-            }
+/// Detection mechanism 2 (§3.1.2), run after a ship: a new owner
+/// notice with no surviving concurrent non-owner notices means
+/// write-write false sharing has stopped — if the policy agrees the
+/// page is worth SW handling (WFS+WG gives priority to the
+/// false-sharing test but then decides on diff size: small diffs keep
+/// MW). `owner_pages` is the ship's owner-notice pages; left sorted
+/// and deduplicated (the caller clears it).
+fn promote_on_owner_notices(
+    procs: &mut [ProcCtl],
+    pages: &mut [PageGlobal],
+    policy: &dyn AdaptPolicy,
+    proto: &mut ProtocolStats,
+    p: ProcId,
+    owner_pages: &mut Vec<PageId>,
+) {
+    owner_pages.sort_unstable();
+    owner_pages.dedup();
+    for &page in owner_pages.iter() {
+        let wants = pages[page.index()].wants_sw;
+        let pc = &mut procs[p.index()].pages[page.index()];
+        let has_concurrent = pc.missing.iter().any(|n| !n.kind.is_owner());
+        if !has_concurrent
+            && pc.mode == PageMode::Mw
+            && policy.promote_to_sw_ok(page.index(), wants)
+            && pc.twin.is_none()
+        {
+            pc.mode = PageMode::Sw;
+            proto.switches_to_sw += 1;
         }
     }
-
-    procs[p.index()].vc.merge(src_vc);
-    bytes
 }
 
 /// The bytes a processor serves for a page request: its twin if it has an

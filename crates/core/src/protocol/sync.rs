@@ -12,7 +12,7 @@
 
 use adsm_mempage::AccessRights;
 use adsm_netsim::{MsgKind, SimTime, TraceKind};
-use adsm_vclock::{ProcId, VectorClock};
+use adsm_vclock::ProcId;
 
 use super::lrc::{self, Ctx, CTRL_BYTES};
 use crate::notice::{NoticeKind, PendingNotice};
@@ -138,9 +138,20 @@ pub(crate) enum BarrierOutcome {
 }
 
 /// Barrier arrival. The last arriver performs the completion work:
-/// global notice exchange, adaptive mechanism 3, garbage collection if
-/// requested (through the protocol's `gc` hook, passed in as a
-/// closure), and the release broadcast.
+/// the batched global notice exchange, adaptive mechanism 3, garbage
+/// collection if requested (through the protocol's `gc` hook, passed
+/// in as a closure), and the release broadcast.
+///
+/// Completion is a **batched fan-in**: one sweep of the shared
+/// interval log — bounded below by the last release's global clock —
+/// collects the barrier's notice frontier, the new global clock and
+/// the mechanism-3 candidate pages all at once; each departing
+/// processor then receives only the frontier slice it has not covered
+/// ([`lrc::integrate_frontier`]). The old completion ran one full
+/// pair-wise [`lrc::integrate_from`] range scan per processor —
+/// O(procs × log) — where the frontier pass is O(log + procs·new
+/// records), and every transient (frontier, payloads, page sets) is
+/// pooled on the `World`, so steady-state barriers allocate nothing.
 pub(crate) fn barrier_arrive(
     ctx: &mut Ctx<'_>,
     p: ProcId,
@@ -178,36 +189,66 @@ pub(crate) fn barrier_arrive(
     let cost_model = ctx.w.cfg.cost.clone();
     ctx.charge(cost_model.service_interrupt);
 
-    // Global knowledge: merge of all clocks; integrate it everywhere.
-    let mut global_vc = VectorClock::new(nprocs);
+    // One log sweep builds the notice frontier — every interval closed
+    // since the last barrier release, in (writer, seq) order — and, for
+    // the adaptive protocols, the pages those intervals wrote (the
+    // mechanism-3 candidates; no second pass). The new global clock
+    // falls out too: its entry for q is q's own closed-interval count,
+    // since no processor ever knows more of q's intervals than q.
+    let mut frontier = std::mem::take(&mut ctx.w.bscratch.frontier);
+    let mut m3_pages = std::mem::take(&mut ctx.w.bscratch.m3_pages);
+    let mut payloads = std::mem::take(&mut ctx.w.bscratch.payloads);
+    debug_assert!(frontier.is_empty() && m3_pages.is_empty());
+    let adapts = ctx.w.policy.adapts();
     for q in ProcId::all(nprocs) {
-        let vc = ctx.w.procs[q.index()].vc.clone();
-        global_vc.merge(&vc);
+        let base = &ctx.w.barrier.last_release_vc;
+        debug_assert!(
+            ctx.w.procs[q.index()].vc.dominates(base),
+            "every processor covers the last barrier release"
+        );
+        for rec in ctx.w.log.range(q, base.get(q), ctx.w.log.closed(q)) {
+            frontier.push(rec.id);
+            if adapts {
+                for n in rec.writes.iter() {
+                    m3_pages.push(n.page);
+                }
+            }
+        }
     }
-    let mut release_payloads = vec![0usize; nprocs];
+    // The last release's clock is dominated by the new global clock,
+    // so its allocation is reused in place of a fresh merge of clones.
+    let mut global_vc = std::mem::take(&mut ctx.w.barrier.last_release_vc);
     for q in ProcId::all(nprocs) {
-        release_payloads[q.index()] = lrc::integrate_from(ctx.w, ctx.mems, q, &global_vc);
+        global_vc.set(q, ctx.w.log.closed(q));
+    }
+
+    // Hand each processor the frontier slice it has not covered.
+    payloads.clear();
+    payloads.resize(nprocs, 0);
+    for q in ProcId::all(nprocs) {
+        payloads[q.index()] = lrc::integrate_frontier(ctx.w, ctx.mems, q, &frontier, &global_vc);
     }
 
     // Adaptive barrier-time detection (mechanism 3), then GC. The
     // policy observes the barrier first (hysteresis streaks advance on
     // barrier episodes), so its promotion answers below reflect the
     // refusal window that just closed.
-    if ctx.w.policy.adapts() {
+    if adapts {
         ctx.w.policy.note_barrier();
-        mechanism3(ctx);
+        m3_pages.sort_unstable();
+        m3_pages.dedup();
+        mechanism3(ctx, &m3_pages);
     }
     if ctx.w.gc_requested {
         gc(ctx);
     }
-    ctx.w.barrier_notice_pages.clear();
 
     // Release broadcast.
     let completion = ctx.now();
     for q in ProcId::all(nprocs) {
         let c_rel = ctx.w.msg(
             MsgKind::BarrierRelease,
-            CTRL_BYTES + release_payloads[q.index()],
+            CTRL_BYTES + payloads[q.index()],
             manager,
             q,
         );
@@ -221,13 +262,19 @@ pub(crate) fn barrier_arrive(
         ctx.interrupt(manager);
     }
 
-    ctx.w.barrier.arrived = vec![None; nprocs];
+    ctx.w.barrier.arrived.fill(None);
     ctx.w.barrier.episodes += 1;
     ctx.w.barrier.last_release_vc = global_vc;
+    frontier.clear();
+    m3_pages.clear();
+    ctx.w.bscratch.frontier = frontier;
+    ctx.w.bscratch.m3_pages = m3_pages;
+    ctx.w.bscratch.payloads = payloads;
     ctx.w.trace_event(completion, TraceKind::Barrier);
     if let Some(wall0) = wall0 {
-        // Host cost of the fan-in: global integration, mechanism 3, GC
-        // and the release broadcast, per barrier episode.
+        // Host cost of the fan-in: frontier sweep, per-proc
+        // integration, mechanism 3, GC and the release broadcast, per
+        // barrier episode.
         ctx.w
             .proto
             .barrier_wall
@@ -254,10 +301,12 @@ fn new_interval_bytes(w: &crate::world::World, p: ProcId) -> usize {
 /// one write notice for a page dominates all others, write-write false
 /// sharing has stopped. The dominating writer becomes the page's owner
 /// (its copy is validated here so it can serve future misses) and every
-/// processor's belief flips to SW.
-fn mechanism3(ctx: &mut Ctx<'_>) {
-    let pages: Vec<_> = ctx.w.barrier_notice_pages.iter().copied().collect();
-    for page in pages {
+/// processor's belief flips to SW. `pages` is the candidate set —
+/// every page a frontier write notice named, sorted and deduplicated —
+/// collected by the completion sweep itself rather than a separately
+/// maintained set.
+fn mechanism3(ctx: &mut Ctx<'_>, pages: &[adsm_mempage::PageId]) {
+    for &page in pages {
         let pgidx = page.index();
         if ctx.w.pages[pgidx].owner.is_some() {
             continue; // still under SW handling somewhere
@@ -324,5 +373,241 @@ fn mechanism3(ctx: &mut Ctx<'_>) {
             .set_rights(page, AccessRights::Read);
         let now = ctx.now();
         ctx.w.trace_event(now, TraceKind::SwitchToSw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Equivalence of the batched barrier fan-in with the pair-wise
+    //! integration it replaced: over random interval logs and random
+    //! per-processor knowledge, the frontier sweep filtered by
+    //! coverage must deliver **byte-identical** notice sets — the same
+    //! records, in the same order, totalling the same payload bytes —
+    //! as one `integrate_from`-style range walk per processor. The
+    //! per-record effects are shared code (`lrc::ship_record_to`), so
+    //! this record-set property is exactly what separates the two
+    //! paths.
+
+    use std::sync::Arc;
+
+    use adsm_mempage::PageId;
+    use adsm_vclock::{IntervalId, ProcId, VectorClock};
+    use proptest::prelude::*;
+
+    use crate::notice::{IntervalRecord, NoticeKind, WriteNotice};
+    use crate::world::World;
+    use crate::{DsmConfig, ProtocolKind};
+
+    const NPAGES: usize = 8;
+
+    /// A random cluster history: per-proc interval counts at the last
+    /// barrier release (`base`) and now (`total`), each proc's
+    /// knowledge in between, and a random write list per interval.
+    #[derive(Clone, Debug)]
+    struct History {
+        nprocs: usize,
+        base: Vec<u32>,
+        total: Vec<u32>,
+        /// `known[p][q]` in `[base[q], total[q]]`, `known[p][p] == total[p]`.
+        known: Vec<Vec<u32>>,
+        /// `writes[q][s]` for interval `(q, s+1)`.
+        writes: Vec<Vec<Vec<WriteNotice>>>,
+    }
+
+    fn history_strategy() -> impl Strategy<Value = History> {
+        (2usize..6)
+            .prop_flat_map(|nprocs| {
+                let per_proc = prop::collection::vec(
+                    // (base, extra-closed-since, per-interval write lists)
+                    (0u32..4, 0u32..5),
+                    nprocs,
+                );
+                let knowledge =
+                    prop::collection::vec(prop::collection::vec(0u32..5, nprocs), nprocs);
+                let writes = prop::collection::vec(
+                    prop::collection::vec(
+                        prop::collection::vec((0usize..NPAGES, any::<bool>(), 0u32..4), 0..4),
+                        9, // >= max total intervals per proc
+                    ),
+                    nprocs,
+                );
+                (Just(nprocs), per_proc, knowledge, writes)
+            })
+            .prop_map(|(nprocs, per_proc, knowledge, writes)| {
+                let base: Vec<u32> = per_proc.iter().map(|&(b, _)| b).collect();
+                let total: Vec<u32> = per_proc.iter().map(|&(b, e)| b + e).collect();
+                let known: Vec<Vec<u32>> = (0..nprocs)
+                    .map(|p| {
+                        (0..nprocs)
+                            .map(|q| {
+                                if p == q {
+                                    total[q]
+                                } else {
+                                    // Clamp the raw sample into [base, total].
+                                    base[q] + knowledge[p][q] % (total[q] - base[q] + 1)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let writes: Vec<Vec<Vec<WriteNotice>>> = writes
+                    .into_iter()
+                    .map(|per_interval| {
+                        per_interval
+                            .into_iter()
+                            .map(|list| {
+                                list.into_iter()
+                                    .map(|(pg, owner, v)| WriteNotice {
+                                        page: PageId::new(pg),
+                                        kind: if owner {
+                                            NoticeKind::Owner(v)
+                                        } else {
+                                            NoticeKind::NonOwner
+                                        },
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                History {
+                    nprocs,
+                    base,
+                    total,
+                    known,
+                    writes,
+                }
+            })
+    }
+
+    /// Builds a `World` whose log, clocks and barrier base reflect the
+    /// history.
+    fn build_world(h: &History) -> World {
+        let mut cfg = DsmConfig::new(ProtocolKind::Wfs);
+        cfg.nprocs = h.nprocs;
+        cfg.npages = NPAGES;
+        let mut w = World::new(cfg);
+        for q in 0..h.nprocs {
+            let qid = ProcId::new(q);
+            for s in 1..=h.total[q] {
+                let mut vc = VectorClock::new(h.nprocs);
+                vc.set(qid, s);
+                w.log.push(
+                    qid,
+                    IntervalRecord {
+                        id: IntervalId::new(qid, s),
+                        vc: Arc::new(vc),
+                        writes: h.writes[q][(s - 1) as usize].clone().into(),
+                    },
+                );
+            }
+        }
+        for p in 0..h.nprocs {
+            for q in 0..h.nprocs {
+                w.procs[p].vc.set(ProcId::new(q), h.known[p][q]);
+            }
+        }
+        w.barrier.last_release_vc = VectorClock::new(h.nprocs);
+        for q in 0..h.nprocs {
+            w.barrier.last_release_vc.set(ProcId::new(q), h.base[q]);
+        }
+        w
+    }
+
+    /// The record sequence the pair-wise walk ships to `p`, with wire
+    /// sizes: `integrate_from`'s ranges against the merged global
+    /// clock.
+    fn pairwise_shipment(w: &World, p: usize, global: &VectorClock) -> Vec<(IntervalId, usize)> {
+        let pid = ProcId::new(p);
+        let mut out = Vec::new();
+        for q in ProcId::all(w.nprocs()) {
+            if q == pid {
+                continue;
+            }
+            let from = w.procs[p].vc.get(q);
+            let to = global.get(q);
+            for rec in w.log.range(q, from, to) {
+                out.push((rec.id, rec.wire_size()));
+            }
+        }
+        out
+    }
+
+    /// The record sequence the batched fan-in ships to `p`: the
+    /// frontier (one sweep bounded by the barrier base), filtered by
+    /// `p`'s coverage.
+    fn frontier_shipment(w: &World, p: usize) -> Vec<(IntervalId, usize)> {
+        let mut frontier = Vec::new();
+        for q in ProcId::all(w.nprocs()) {
+            let from = w.barrier.last_release_vc.get(q);
+            for rec in w.log.range(q, from, w.log.closed(q)) {
+                frontier.push(rec.id);
+            }
+        }
+        frontier
+            .into_iter()
+            .filter(|&id| !w.procs[p].vc.covers(id))
+            .map(|id| (id, w.log.record(id).wire_size()))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The batched fan-in delivers a byte-identical notice set —
+        /// same records, same order, same payload bytes — to one
+        /// pair-wise `integrate_from` range walk per departing
+        /// processor, over random interval logs.
+        #[test]
+        fn frontier_equals_pairwise_integration(h in history_strategy()) {
+            let w = build_world(&h);
+            // The global clock the completion derives from the log
+            // equals the merge of every processor's clock.
+            let mut global = VectorClock::new(h.nprocs);
+            for p in 0..h.nprocs {
+                global.merge(&w.procs[p].vc);
+            }
+            for q in ProcId::all(h.nprocs) {
+                prop_assert_eq!(global.get(q), w.log.closed(q));
+            }
+            for p in 0..h.nprocs {
+                let pair = pairwise_shipment(&w, p, &global);
+                let front = frontier_shipment(&w, p);
+                prop_assert_eq!(&pair, &front, "proc {} shipment diverged", p);
+                let pair_bytes: usize = pair.iter().map(|&(_, b)| b).sum();
+                let front_bytes: usize = front.iter().map(|&(_, b)| b).sum();
+                prop_assert_eq!(pair_bytes, front_bytes);
+            }
+        }
+    }
+
+    /// A proc that learned of another's interval through a lock grant
+    /// (knowledge above the barrier base) must not receive that record
+    /// again at the barrier.
+    #[test]
+    fn frontier_skips_lock_granted_records() {
+        let h = History {
+            nprocs: 2,
+            base: vec![0, 0],
+            total: vec![2, 0],
+            known: vec![vec![2, 0], vec![1, 0]], // proc 1 already has (0,1)
+            writes: vec![
+                vec![
+                    vec![WriteNotice {
+                        page: PageId::new(0),
+                        kind: NoticeKind::NonOwner,
+                    }],
+                    vec![WriteNotice {
+                        page: PageId::new(1),
+                        kind: NoticeKind::NonOwner,
+                    }],
+                ],
+                vec![],
+            ],
+        };
+        let w = build_world(&h);
+        let shipped = frontier_shipment(&w, 1);
+        assert_eq!(shipped.len(), 1, "only the uncovered record ships");
+        assert_eq!(shipped[0].0, IntervalId::new(ProcId::new(0), 2));
     }
 }

@@ -127,6 +127,31 @@ impl DsmBuilder {
         self
     }
 
+    /// Defers the HLRC comparator's interval-close diff encodes until
+    /// the home's copy is actually demanded, coalescing consecutive
+    /// closes of a page into one encode
+    /// ([`ProtocolStats::lazy_flush_hits`](crate::ProtocolStats::lazy_flush_hits)
+    /// vs
+    /// [`lazy_flush_encodes`](crate::ProtocolStats::lazy_flush_encodes)
+    /// measure the saving). Off by default; every protocol but
+    /// [`ProtocolKind::Hlrc`] ignores it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Hlrc)
+    ///     .nprocs(4)
+    ///     .hlrc_lazy_flush(true)
+    ///     .build();
+    /// assert_eq!(dsm.protocol(), ProtocolKind::Hlrc);
+    /// ```
+    pub fn hlrc_lazy_flush(mut self, on: bool) -> Self {
+        self.cfg.hlrc_lazy_flush = on;
+        self
+    }
+
     /// Selects when multiple-writer diffs are encoded:
     /// [`DiffStrategy::Eager`](crate::DiffStrategy::Eager) (default)
     /// encodes at interval close; `Lazy` retains the twin and encodes on
@@ -421,6 +446,11 @@ fn finalize_image(
     // owner notices (under HLRC, so they are flushed to their homes).
     for p in ProcId::all(w.nprocs()) {
         let _ = lrc::close_interval(w, mems, p, SimTime::ZERO);
+    }
+    if protocol == ProtocolKind::Hlrc {
+        // Lazy flushing: ship every still-deferred diff home so the
+        // homes' frames are authoritative for the image below.
+        crate::protocol::hlrc::force_all(w, mems);
     }
     w.deferred_costs.clear();
     // The comparators keep one authoritative frame per page: the owner's

@@ -8,7 +8,7 @@
 //! version numbers, lock queues) is centralised, with every state change
 //! still charged the messages the real protocol would send.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use adsm_mempage::{Diff, PageBuf, PageId, PagePool};
@@ -69,6 +69,13 @@ pub(crate) struct PageCtl {
     pub hvn: Option<Hvn>,
     /// Lazy diffing: the last closed interval's twin, not yet encoded.
     pub pending: Option<PendingDiff>,
+    /// HLRC lazy flush
+    /// ([`DsmConfig::hlrc_lazy_flush`](crate::DsmConfig::hlrc_lazy_flush)):
+    /// the page image at the start of the *oldest* unflushed interval.
+    /// The diff against it — covering every interval closed since — is
+    /// encoded and shipped to the home only when the home's copy is
+    /// actually demanded (`hlrc::force_flush_page`).
+    pub flush_pending: Option<PageBuf>,
 }
 
 /// Authoritative (directory) per-page state.
@@ -286,6 +293,16 @@ impl IntervalLog {
         &self.per_proc[id.proc.index()][(id.seq - 1) as usize]
     }
 
+    /// `q`'s most recently closed interval, if any. Interval closing
+    /// compares the fresh write-notice list against this record's: in
+    /// steady state (the same pages written every interval) the lists
+    /// are equal and the `Arc` is shared instead of reallocated
+    /// ([`ProtocolStats::interval_close_allocs`](crate::ProtocolStats::interval_close_allocs)
+    /// counts the misses).
+    pub fn last_record(&self, q: ProcId) -> Option<&IntervalRecord> {
+        self.per_proc[q.index()].last()
+    }
+
     /// Empties every record's write list (diff garbage collection:
     /// everyone is provably up to date, so only the vector clocks —
     /// which still order future merges — are retained). All pruned
@@ -339,6 +356,31 @@ pub(crate) struct MergeScratch {
     /// Fetched diffs, sorted into happened-before order for the k-way
     /// merge.
     pub to_apply: Vec<KeyedDiff>,
+}
+
+/// Pooled transient state of the batched barrier fan-in and of notice
+/// shipping, persistent on the [`World`] so steady-state barriers and
+/// lock grants allocate nothing.
+///
+/// The vectors are `take`n at the start of an operation (so the `World`
+/// can be split into disjoint field borrows underneath them) and put
+/// back — cleared, capacity intact — when it completes.
+#[derive(Debug, Default)]
+pub(crate) struct BarrierScratch {
+    /// The notice frontier of one barrier episode: every interval
+    /// closed since the last barrier release, ordered by (writer, seq)
+    /// — collected in **one** sweep of the interval log and shared by
+    /// all departing processors.
+    pub frontier: Vec<IntervalId>,
+    /// Per-processor release-broadcast payload bytes.
+    pub payloads: Vec<usize>,
+    /// Pages named by frontier write notices (sorted, deduplicated):
+    /// the candidate set of the barrier-time detection mechanism 3,
+    /// fed from the same sweep instead of a second pass.
+    pub m3_pages: Vec<PageId>,
+    /// Pages that received an owner notice during one processor's
+    /// integration (detection mechanism 2); reused across processors.
+    pub owner_pages: Vec<PageId>,
 }
 
 /// One lock's distributed state (manager = statically assigned processor;
@@ -396,9 +438,12 @@ pub(crate) struct World {
     /// A processor's diff space crossed the GC threshold; collect at the
     /// next barrier.
     pub gc_requested: bool,
-    /// Pages that received write notices since the last barrier (drives
-    /// the barrier-time detection mechanism 3 of §3.1.2).
-    pub barrier_notice_pages: BTreeSet<PageId>,
+    /// Pooled scratch of the batched barrier fan-in and notice shipping.
+    pub bscratch: BarrierScratch,
+    /// Pooled build list for interval closing's write notices; the
+    /// closing path fills it, then shares the previous record's `Arc`
+    /// when the list is unchanged.
+    pub notice_build: Vec<WriteNotice>,
     /// Virtual-time charges to *other* processors' clocks accumulated
     /// where no engine handle is available (HLRC home-side diff applies
     /// during interval close); drained at the next protocol entry point.
@@ -473,7 +518,8 @@ impl World {
                 last_release_vc: VectorClock::new(nprocs),
             },
             gc_requested: false,
-            barrier_notice_pages: BTreeSet::new(),
+            bscratch: BarrierScratch::default(),
+            notice_build: Vec::new(),
             deferred_costs: Vec::new(),
             net: NetStats::new(),
             proto: ProtocolStats::new(),

@@ -192,6 +192,75 @@ fn notice_shipping_never_deep_clones() {
     assert_eq!(report.proto.notice_ship_clones, 0);
 }
 
+/// Interval closing allocates no notice list in steady state: the
+/// fresh write-notice list of an iterative application equals the
+/// previous interval's, so the previous record's `Arc` is shared and
+/// `interval_close_allocs` goes flat after warm-up — extra iterations
+/// close strictly more intervals at **zero** additional notice-list
+/// allocations.
+#[test]
+fn steady_state_interval_closes_allocate_no_notice_lists() {
+    for protocol in [ProtocolKind::Mw, ProtocolKind::Wfs] {
+        let short = run_sor(protocol, 3);
+        let long = run_sor(protocol, 9);
+        assert!(
+            long.proto.interval_close_allocs > 0,
+            "{protocol}: warm-up must have built at least one notice list"
+        );
+        assert_eq!(
+            long.proto.interval_close_allocs, short.proto.interval_close_allocs,
+            "{protocol}: extra steady-state closes allocated notice lists"
+        );
+    }
+    // Same on the false-sharing merge path (every interval closes the
+    // same MW write set).
+    let short = run_false_sharing(3);
+    let long = run_false_sharing(9);
+    assert!(long.proto.diffs_created > short.proto.diffs_created);
+    assert_eq!(
+        long.proto.interval_close_allocs, short.proto.interval_close_allocs,
+        "false-sharing steady-state closes allocated notice lists"
+    );
+}
+
+/// HLRC lazy flushing in steady state: with no demand on the home's
+/// copy, deferred closes never encode — `lazy_flush_encodes` is pinned
+/// at **zero** however many intervals close (the hits keep counting
+/// the avoided encodes). Detailed demand/coalescing behaviour lives in
+/// `lazy_flush.rs`.
+#[test]
+fn lazy_flush_steady_state_never_encodes() {
+    use adsm_core::{Dsm, HomePolicy};
+    let run = |iters: usize| {
+        let mut dsm = Dsm::builder(ProtocolKind::Hlrc)
+            .nprocs(NPROCS)
+            .home_policy(HomePolicy::Fixed(0))
+            .hlrc_lazy_flush(true)
+            .build();
+        let data = dsm.alloc_page_aligned::<u64>(512);
+        let outcome = dsm
+            .run(move |p| {
+                for it in 0..iters {
+                    if p.index() == 1 {
+                        data.set(p, 0, it as u64 + 1);
+                    }
+                    p.compute(SimTime::from_us(20));
+                    p.barrier();
+                }
+            })
+            .expect("HLRC lazy run completes");
+        outcome.report
+    };
+    let short = run(3);
+    let long = run(9);
+    assert!(long.proto.lazy_flush_hits > short.proto.lazy_flush_hits);
+    assert_eq!(short.proto.lazy_flush_encodes, 0);
+    assert_eq!(
+        long.proto.lazy_flush_encodes, 0,
+        "undemanded steady-state closes must never encode"
+    );
+}
+
 /// The pool's working set stays bounded by the live twin population
 /// instead of scaling with run length: created buffers are far fewer
 /// than the buffer demand (hits + misses).

@@ -1,0 +1,221 @@
+//! HLRC lazy-flush behaviour: deferred encodes, hit/encode accounting,
+//! coalescing, and correctness of the forced-flush paths.
+//!
+//! Under [`DsmBuilder::hlrc_lazy_flush`](adsm_core::Dsm) the
+//! interval-close diff encode is deferred: the twin is parked as the
+//! page's flush base and the coalesced diff is encoded only when the
+//! home's copy is actually demanded — the home re-reads it after a
+//! notice dropped its frame access, another processor fetches it, or
+//! the final image is assembled. `lazy_flush_hits` counts deferrals,
+//! `lazy_flush_encodes` counts the encodes actually performed; the gap
+//! between them is the coalescing saving.
+
+use adsm_core::{Dsm, HomePolicy, ProtocolKind, RunReport, SimTime};
+
+const NPROCS: usize = 4;
+const WORDS: usize = 512; // one page of u64
+
+/// One processor repeatedly writes a page homed elsewhere; nobody —
+/// including the home — ever reads it between barriers.
+fn run_unread_writer(iters: usize) -> RunReport {
+    let mut dsm = Dsm::builder(ProtocolKind::Hlrc)
+        .nprocs(NPROCS)
+        // Home everything on proc 0; proc 1 is the (non-home) writer.
+        .home_policy(HomePolicy::Fixed(0))
+        .hlrc_lazy_flush(true)
+        .build();
+    let data = dsm.alloc_page_aligned::<u64>(WORDS);
+    let outcome = dsm
+        .run(move |p| {
+            for it in 0..iters {
+                if p.index() == 1 {
+                    data.set(p, 0, it as u64 + 1);
+                }
+                p.compute(SimTime::from_us(20));
+                p.barrier();
+            }
+        })
+        .expect("unread-writer run completes");
+    outcome.report
+}
+
+/// Every deferred close is a hit; with no demand at all, not a single
+/// encode happens during the run (the report is snapshotted before the
+/// end-of-run image assembly forces the leftovers).
+#[test]
+fn undemanded_flushes_never_encode() {
+    let report = run_unread_writer(6);
+    assert_eq!(report.proto.lazy_flush_hits, 6, "one deferral per close");
+    assert_eq!(
+        report.proto.lazy_flush_encodes, 0,
+        "no reader, no home touch: nothing may force an encode"
+    );
+    // No diff ever travelled to the home during the run.
+    assert_eq!(report.proto.home_flushes, 0);
+}
+
+/// Steady-state deferral is free: extra iterations add hits but no
+/// encodes and no extra page-buffer allocations (the one parked base
+/// is reused — later twins return to the pool).
+#[test]
+fn lazy_flush_steady_state_is_encode_and_allocation_free() {
+    let short = run_unread_writer(3);
+    let long = run_unread_writer(9);
+    assert!(long.proto.lazy_flush_hits > short.proto.lazy_flush_hits);
+    assert_eq!(short.proto.lazy_flush_encodes, 0);
+    assert_eq!(long.proto.lazy_flush_encodes, 0);
+    assert_eq!(
+        long.proto.pool_pages_created, short.proto.pool_pages_created,
+        "steady-state deferrals allocated page buffers"
+    );
+}
+
+/// The final image still sees every deferred write: the end-of-run
+/// assembly forces the parked diffs home.
+#[test]
+fn final_image_forces_deferred_flushes() {
+    let mut dsm = Dsm::builder(ProtocolKind::Hlrc)
+        .nprocs(NPROCS)
+        .home_policy(HomePolicy::Fixed(0))
+        .hlrc_lazy_flush(true)
+        .build();
+    let data = dsm.alloc_page_aligned::<u64>(WORDS);
+    let outcome = dsm
+        .run(move |p| {
+            if p.index() == 1 {
+                for i in 0..8 {
+                    data.set(p, i, 100 + i as u64);
+                }
+            }
+            p.barrier();
+        })
+        .expect("run completes");
+    let vals = outcome.read_vec(&data);
+    for (i, &v) in vals.iter().take(8).enumerate() {
+        assert_eq!(v, 100 + i as u64, "word {i}");
+    }
+}
+
+/// A reader's fetch from the home demands the deferred diffs: the
+/// values arrive, and consecutive unread intervals coalesced into
+/// fewer encodes than closes (here the reader samples every third
+/// barrier).
+#[test]
+fn reader_demand_forces_and_coalesces() {
+    const ITERS: usize = 9;
+    let mut dsm = Dsm::builder(ProtocolKind::Hlrc)
+        .nprocs(NPROCS)
+        .home_policy(HomePolicy::Fixed(0))
+        .hlrc_lazy_flush(true)
+        .build();
+    let data = dsm.alloc_page_aligned::<u64>(WORDS);
+    let outcome = dsm
+        .run(move |p| {
+            for it in 0..ITERS {
+                if p.index() == 1 {
+                    data.set(p, 0, it as u64 + 1);
+                }
+                p.compute(SimTime::from_us(20));
+                p.barrier();
+                if p.index() == 2 && it % 3 == 2 {
+                    // Every third barrier the reader checks the value:
+                    // LRC guarantees it sees the write that
+                    // happened-before this barrier.
+                    assert_eq!(data.get(p, 0), it as u64 + 1, "iteration {it}");
+                }
+                p.barrier();
+            }
+        })
+        .expect("reader-demand run completes");
+    let proto = &outcome.report.proto;
+    assert_eq!(
+        proto.lazy_flush_hits, ITERS as u64,
+        "one deferral per close"
+    );
+    assert!(
+        proto.lazy_flush_encodes > 0,
+        "reader fetches must have forced encodes"
+    );
+    assert!(
+        proto.lazy_flush_encodes < proto.lazy_flush_hits,
+        "coalescing must save encodes: {} encodes of {} hits",
+        proto.lazy_flush_encodes,
+        proto.lazy_flush_hits
+    );
+}
+
+/// The home's own re-read demands the deferred diffs too: a write
+/// notice drops the home's frame access, so its next read faults and
+/// forces.
+#[test]
+fn home_reread_forces_deferred_flushes() {
+    let mut dsm = Dsm::builder(ProtocolKind::Hlrc)
+        .nprocs(2)
+        .home_policy(HomePolicy::Fixed(0))
+        .hlrc_lazy_flush(true)
+        .build();
+    let data = dsm.alloc_page_aligned::<u64>(WORDS);
+    let outcome = dsm
+        .run(move |p| {
+            if p.index() == 1 {
+                data.set(p, 3, 77);
+            }
+            p.barrier();
+            if p.index() == 0 {
+                assert_eq!(data.get(p, 3), 77, "home must see the deferred write");
+            }
+            p.barrier();
+        })
+        .expect("home-reread run completes");
+    let proto = &outcome.report.proto;
+    assert!(proto.lazy_flush_hits >= 1);
+    assert_eq!(
+        proto.lazy_flush_encodes, 1,
+        "exactly the home's re-read forces the one deferred diff"
+    );
+    assert_eq!(proto.home_flushes, 1);
+}
+
+/// Lazy and eager flushing agree on every application-visible value;
+/// the lazy run just ships fewer (coalesced) diffs. Exercises
+/// concurrent writers to disjoint words of the same page (the
+/// fine-grained-sharing case HLRC turns into whole-page traffic).
+#[test]
+fn lazy_and_eager_agree_on_values() {
+    let run = |lazy: bool| {
+        let mut dsm = Dsm::builder(ProtocolKind::Hlrc)
+            .nprocs(NPROCS)
+            .hlrc_lazy_flush(lazy)
+            .build();
+        let data = dsm.alloc_page_aligned::<u64>(WORDS);
+        let outcome = dsm
+            .run(move |p| {
+                let me = p.index();
+                let stride = p.nprocs();
+                for it in 0..4 {
+                    for i in (me..WORDS).step_by(stride) {
+                        data.set(p, i, (it * stride + me + 1) as u64);
+                    }
+                    p.compute(SimTime::from_us(20));
+                    p.barrier();
+                    // Everyone reads a neighbour's word.
+                    let j = (me + 1) % stride;
+                    assert_eq!(data.get(p, j), (it * stride + j + 1) as u64);
+                    p.barrier();
+                }
+            })
+            .expect("run completes");
+        (outcome.read_vec(&data), outcome.report)
+    };
+    let (eager_vals, eager) = run(false);
+    let (lazy_vals, lazy) = run(true);
+    assert_eq!(eager_vals, lazy_vals, "final images must agree");
+    assert_eq!(eager.proto.lazy_flush_hits, 0);
+    assert!(lazy.proto.lazy_flush_hits > 0);
+    assert!(
+        lazy.proto.home_flushes <= eager.proto.home_flushes,
+        "lazy flushing must not ship more diffs than eager ({} vs {})",
+        lazy.proto.home_flushes,
+        eager.proto.home_flushes
+    );
+}
