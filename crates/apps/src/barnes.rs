@@ -360,10 +360,13 @@ pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &Run
                 p.compute(work(interactions, params.ns_per_interaction));
                 p.barrier();
 
-                // Update phase: integrate our bodies.
+                // Update phase: integrate our bodies. One span view per
+                // record — nine doubles decoded into a stack buffer, no
+                // per-body vector.
                 for &i in &mine {
                     let b = i * BODY_WORDS;
-                    let rec = bodies.read_range(p, b + POS, b + ACC + 3);
+                    let mut rec = [0.0f64; 9];
+                    bodies.view(p, b + POS..b + ACC + 3).copy_to_slice(&mut rec);
                     let mut pos = [rec[0], rec[1], rec[2]];
                     let mut vel = [rec[3], rec[4], rec[5]];
                     let acc = [rec[6], rec[7], rec[8]];

@@ -323,9 +323,13 @@ fn run_params(
                 for x in x0..x1 {
                     for y in 0..n {
                         for z in 0..n {
-                            let v = data.read_range(p, zmaj(x, y, z, n), zmaj(x, y, z, n) + 2);
-                            line[2 * z] = v[0];
-                            line[2 * z + 1] = v[1];
+                            // One complex value per gather: a 2-element
+                            // span view decodes straight from the page
+                            // frame — no per-gather vector.
+                            let s = zmaj(x, y, z, n);
+                            let v = data.view(p, s..s + 2);
+                            line[2 * z] = v.at(0);
+                            line[2 * z + 1] = v.at(1);
                         }
                         fft1d(&mut line, false);
                         for z in 0..n {
@@ -351,9 +355,10 @@ fn run_params(
                 for z in z0..z1 {
                     for y in 0..n {
                         for x in 0..n {
-                            let v = tdata.read_range(p, xmaj(x, y, z, n), xmaj(x, y, z, n) + 2);
-                            plane[2 * (y * n + x)] = v[0];
-                            plane[2 * (y * n + x) + 1] = v[1];
+                            let s = xmaj(x, y, z, n);
+                            let v = tdata.view(p, s..s + 2);
+                            plane[2 * (y * n + x)] = v.at(0);
+                            plane[2 * (y * n + x) + 1] = v.at(1);
                         }
                     }
                     for x in 0..n {

@@ -9,6 +9,12 @@
 //! assignment scatters each processor's small writes over the whole
 //! pool, so most pages holding nonzeros are write-write falsely shared —
 //! the paper measures 58.3% with small-to-medium write granularity.
+//!
+//! Access-layer note: ILINK's accesses are genuinely scalar and sparse
+//! (scattered nonzeros), so it runs on the span machinery through the
+//! per-element `get`/`set`/`update` paths — batching them into wider
+//! span views would erase exactly the fine-grained scatter the paper's
+//! false-sharing numbers come from.
 
 use adsm_core::{ProtocolKind, SharedVec};
 

@@ -115,16 +115,17 @@ pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &Run
                 }
                 p.compute(work(k1 - k0, params.ns_per_key));
 
-                // Phase 2: merge into the shared buckets under the lock
-                // (the migratory whole-page update).
-                p.lock(0);
-                buckets.read_into(p, 0, &mut shared);
-                for (s, v) in shared.iter_mut().zip(&private) {
-                    *s += v;
-                }
-                buckets.write_from(p, 0, &shared);
-                p.compute(work(nb, 15));
-                p.unlock(0);
+                // Phase 2: merge into the shared buckets inside the
+                // critical section (the migratory whole-page update —
+                // one read span and one write span over the array).
+                p.critical(0, |p| {
+                    buckets.read_into(p, 0, &mut shared);
+                    for (s, v) in shared.iter_mut().zip(&private) {
+                        *s += v;
+                    }
+                    buckets.write_from(p, 0, &shared);
+                    p.compute(work(nb, 15));
+                });
 
                 p.barrier();
                 // Phase 3: the master checks the running total.

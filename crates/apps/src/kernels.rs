@@ -63,16 +63,16 @@ pub fn migratory(protocol: ProtocolKind, params: KernelParams) -> RunOutcome {
     let nprocs = params.nprocs;
     let out = dsm.run(move |p| {
         for _ in 0..params.iters {
-            p.lock(0);
-            let mut vals = page.read_range(p, 0, 512);
-            for v in vals.iter_mut() {
-                // Change every byte of every word (true whole-page
-                // granularity).
-                *v = v.wrapping_add(0x0101_0101_0101_0101);
-            }
-            page.write_from(p, 0, &vals);
-            p.compute(work(512, params.ns_per_elem));
-            p.unlock(0);
+            p.critical(0, |p| {
+                let mut vals = page.read_range(p, 0, 512);
+                for v in vals.iter_mut() {
+                    // Change every byte of every word (true whole-page
+                    // granularity).
+                    *v = v.wrapping_add(0x0101_0101_0101_0101);
+                }
+                page.write_from(p, 0, &vals);
+                p.compute(work(512, params.ns_per_elem));
+            });
         }
         p.barrier();
     });

@@ -12,7 +12,7 @@
 //! paper measures 13.9% and shows Shallow as the clearest case for
 //! per-page adaptation.
 
-use adsm_core::{Proc, ProtocolKind, SharedVec};
+use adsm_core::{ProtocolKind, SharedMatrix};
 
 use crate::support::{band, compare_f64, work};
 use crate::{AppRun, RunOptions, Scale};
@@ -218,28 +218,23 @@ pub fn reference(params: &ShallowParams) -> Vec<f64> {
     s.p
 }
 
-/// Handles to the shared field arrays.
+/// Handles to the shared field arrays: `m x (n+1)` row-major matrices,
+/// accessed row-wise through span-guard views.
 #[derive(Clone, Copy)]
 struct Fields {
-    u: SharedVec<f64>,
-    v: SharedVec<f64>,
-    p: SharedVec<f64>,
-    uold: SharedVec<f64>,
-    vold: SharedVec<f64>,
-    pold: SharedVec<f64>,
-    cu: SharedVec<f64>,
-    cv: SharedVec<f64>,
-    z: SharedVec<f64>,
-    h: SharedVec<f64>,
-    unew: SharedVec<f64>,
-    vnew: SharedVec<f64>,
-    pnew: SharedVec<f64>,
-}
-
-/// Reads rows `[r0, r1)` (with periodic halo) of a field into a local
-/// buffer covering rows `r0-1 ..= r1` mapped modulo m.
-fn read_row(f: &SharedVec<f64>, p: &mut Proc, row: usize, i: usize, buf: &mut [f64]) {
-    f.read_into(p, i * row, buf);
+    u: SharedMatrix<f64>,
+    v: SharedMatrix<f64>,
+    p: SharedMatrix<f64>,
+    uold: SharedMatrix<f64>,
+    vold: SharedMatrix<f64>,
+    pold: SharedMatrix<f64>,
+    cu: SharedMatrix<f64>,
+    cv: SharedMatrix<f64>,
+    z: SharedMatrix<f64>,
+    h: SharedMatrix<f64>,
+    unew: SharedMatrix<f64>,
+    vnew: SharedMatrix<f64>,
+    pnew: SharedMatrix<f64>,
 }
 
 /// Runs Shallow under `protocol` and verifies the final pressure field.
@@ -266,22 +261,21 @@ fn run_params(
     opts: &RunOptions,
 ) -> AppRun {
     let (m, n, row) = (params.m, params.n, params.row());
-    let cells = params.cells();
     let mut dsm = opts.builder(protocol, nprocs).build();
     let fields = Fields {
-        u: dsm.alloc_page_aligned::<f64>(cells),
-        v: dsm.alloc_page_aligned::<f64>(cells),
-        p: dsm.alloc_page_aligned::<f64>(cells),
-        uold: dsm.alloc_page_aligned::<f64>(cells),
-        vold: dsm.alloc_page_aligned::<f64>(cells),
-        pold: dsm.alloc_page_aligned::<f64>(cells),
-        cu: dsm.alloc_page_aligned::<f64>(cells),
-        cv: dsm.alloc_page_aligned::<f64>(cells),
-        z: dsm.alloc_page_aligned::<f64>(cells),
-        h: dsm.alloc_page_aligned::<f64>(cells),
-        unew: dsm.alloc_page_aligned::<f64>(cells),
-        vnew: dsm.alloc_page_aligned::<f64>(cells),
-        pnew: dsm.alloc_page_aligned::<f64>(cells),
+        u: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        v: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        p: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        uold: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        vold: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        pold: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        cu: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        cv: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        z: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        h: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        unew: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        vnew: dsm.alloc_matrix_page_aligned::<f64>(m, row),
+        pnew: dsm.alloc_matrix_page_aligned::<f64>(m, row),
     };
 
     let outcome = dsm
@@ -289,12 +283,26 @@ fn run_params(
             let (i0, i1) = band(m, pr.nprocs(), pr.index());
             if pr.index() == 0 {
                 let (u, v, p) = initial_field(&params);
-                fields.u.write_from(pr, 0, &u);
-                fields.v.write_from(pr, 0, &v);
-                fields.p.write_from(pr, 0, &p);
-                fields.uold.write_from(pr, 0, &u);
-                fields.vold.write_from(pr, 0, &v);
-                fields.pold.write_from(pr, 0, &p);
+                // Whole-field initialisation: one writable span view per
+                // field covers every row in a single guard.
+                fields.u.shared_vec().view_mut(pr, ..).copy_from_slice(&u);
+                fields.v.shared_vec().view_mut(pr, ..).copy_from_slice(&v);
+                fields.p.shared_vec().view_mut(pr, ..).copy_from_slice(&p);
+                fields
+                    .uold
+                    .shared_vec()
+                    .view_mut(pr, ..)
+                    .copy_from_slice(&u);
+                fields
+                    .vold
+                    .shared_vec()
+                    .view_mut(pr, ..)
+                    .copy_from_slice(&v);
+                fields
+                    .pold
+                    .shared_vec()
+                    .view_mut(pr, ..)
+                    .copy_from_slice(&p);
             }
             pr.barrier();
 
@@ -312,12 +320,12 @@ fn run_params(
                 // --- Phase 1: cu, cv, z, h over own band.
                 for i in i0..i1 {
                     let im = (i + m - 1) % m;
-                    read_row(&fields.u, pr, row, im, &mut ur[0]);
-                    read_row(&fields.u, pr, row, i, &mut ur[1]);
-                    read_row(&fields.v, pr, row, im, &mut vr[0]);
-                    read_row(&fields.v, pr, row, i, &mut vr[1]);
-                    read_row(&fields.p, pr, row, im, &mut prow[0]);
-                    read_row(&fields.p, pr, row, i, &mut prow[1]);
+                    fields.u.read_row_into(pr, im, &mut ur[0]);
+                    fields.u.read_row_into(pr, i, &mut ur[1]);
+                    fields.v.read_row_into(pr, im, &mut vr[0]);
+                    fields.v.read_row_into(pr, i, &mut vr[1]);
+                    fields.p.read_row_into(pr, im, &mut prow[0]);
+                    fields.p.read_row_into(pr, i, &mut prow[1]);
                     for j in 0..n {
                         let jm = (j + n - 1) % n;
                         let cu = 0.5 * (prow[1][j] + prow[1][jm]) * ur[1][j];
@@ -335,10 +343,10 @@ fn run_params(
                     out_cv[n] = 0.0;
                     out_z[n] = 0.0;
                     out_h[n] = 0.0;
-                    fields.cu.write_from(pr, i * row, &out_cu);
-                    fields.cv.write_from(pr, i * row, &out_cv);
-                    fields.z.write_from(pr, i * row, &out_z);
-                    fields.h.write_from(pr, i * row, &out_h);
+                    fields.cu.write_row_from(pr, i, &out_cu);
+                    fields.cv.write_row_from(pr, i, &out_cv);
+                    fields.z.write_row_from(pr, i, &out_z);
+                    fields.h.write_row_from(pr, i, &out_h);
                     pr.compute(work(n, params.ns_per_elem));
                 }
                 pr.barrier();
@@ -353,17 +361,17 @@ fn run_params(
                 let mut por = vec![0.0f64; row];
                 for i in i0..i1 {
                     let ip = (i + 1) % m;
-                    read_row(&fields.cu, pr, row, i, &mut cur[0]);
-                    read_row(&fields.cu, pr, row, ip, &mut cur[1]);
-                    read_row(&fields.cv, pr, row, i, &mut cvr[0]);
-                    read_row(&fields.cv, pr, row, ip, &mut cvr[1]);
-                    read_row(&fields.z, pr, row, i, &mut zr[0]);
-                    read_row(&fields.z, pr, row, ip, &mut zr[1]);
-                    read_row(&fields.h, pr, row, i, &mut hr[0]);
-                    read_row(&fields.h, pr, row, ip, &mut hr[1]);
-                    read_row(&fields.uold, pr, row, i, &mut uor);
-                    read_row(&fields.vold, pr, row, i, &mut vor);
-                    read_row(&fields.pold, pr, row, i, &mut por);
+                    fields.cu.read_row_into(pr, i, &mut cur[0]);
+                    fields.cu.read_row_into(pr, ip, &mut cur[1]);
+                    fields.cv.read_row_into(pr, i, &mut cvr[0]);
+                    fields.cv.read_row_into(pr, ip, &mut cvr[1]);
+                    fields.z.read_row_into(pr, i, &mut zr[0]);
+                    fields.z.read_row_into(pr, ip, &mut zr[1]);
+                    fields.h.read_row_into(pr, i, &mut hr[0]);
+                    fields.h.read_row_into(pr, ip, &mut hr[1]);
+                    fields.uold.read_row_into(pr, i, &mut uor);
+                    fields.vold.read_row_into(pr, i, &mut vor);
+                    fields.pold.read_row_into(pr, i, &mut por);
                     for j in 0..n {
                         let jp = (j + 1) % n;
                         let unew = uor[j]
@@ -382,9 +390,9 @@ fn run_params(
                     out_cu[n] = 0.0;
                     out_cv[n] = 0.0;
                     out_z[n] = 0.0;
-                    fields.unew.write_from(pr, i * row, &out_cu);
-                    fields.vnew.write_from(pr, i * row, &out_cv);
-                    fields.pnew.write_from(pr, i * row, &out_z);
+                    fields.unew.write_row_from(pr, i, &out_cu);
+                    fields.vnew.write_row_from(pr, i, &out_cv);
+                    fields.pnew.write_row_from(pr, i, &out_z);
                     pr.compute(work(n, params.ns_per_elem));
                 }
                 pr.barrier();
@@ -397,26 +405,26 @@ fn run_params(
                 let mut vc = vec![0.0f64; row];
                 let mut pc = vec![0.0f64; row];
                 for i in i0..i1 {
-                    read_row(&fields.unew, pr, row, i, &mut un);
-                    read_row(&fields.vnew, pr, row, i, &mut vn);
-                    read_row(&fields.pnew, pr, row, i, &mut pn);
-                    read_row(&fields.u, pr, row, i, &mut uc);
-                    read_row(&fields.v, pr, row, i, &mut vc);
-                    read_row(&fields.p, pr, row, i, &mut pc);
-                    read_row(&fields.uold, pr, row, i, &mut uor);
-                    read_row(&fields.vold, pr, row, i, &mut vor);
-                    read_row(&fields.pold, pr, row, i, &mut por);
+                    fields.unew.read_row_into(pr, i, &mut un);
+                    fields.vnew.read_row_into(pr, i, &mut vn);
+                    fields.pnew.read_row_into(pr, i, &mut pn);
+                    fields.u.read_row_into(pr, i, &mut uc);
+                    fields.v.read_row_into(pr, i, &mut vc);
+                    fields.p.read_row_into(pr, i, &mut pc);
+                    fields.uold.read_row_into(pr, i, &mut uor);
+                    fields.vold.read_row_into(pr, i, &mut vor);
+                    fields.pold.read_row_into(pr, i, &mut por);
                     for j in 0..n {
                         uor[j] = uc[j] + ALPHA * (un[j] - 2.0 * uc[j] + uor[j]);
                         vor[j] = vc[j] + ALPHA * (vn[j] - 2.0 * vc[j] + vor[j]);
                         por[j] = pc[j] + ALPHA * (pn[j] - 2.0 * pc[j] + por[j]);
                     }
-                    fields.uold.write_from(pr, i * row, &uor);
-                    fields.vold.write_from(pr, i * row, &vor);
-                    fields.pold.write_from(pr, i * row, &por);
-                    fields.u.write_from(pr, i * row, &un);
-                    fields.v.write_from(pr, i * row, &vn);
-                    fields.p.write_from(pr, i * row, &pn);
+                    fields.uold.write_row_from(pr, i, &uor);
+                    fields.vold.write_row_from(pr, i, &vor);
+                    fields.pold.write_row_from(pr, i, &por);
+                    fields.u.write_row_from(pr, i, &un);
+                    fields.v.write_row_from(pr, i, &vn);
+                    fields.p.write_row_from(pr, i, &pn);
                     pr.compute(work(n, params.ns_per_elem / 2));
                 }
                 if step == 0 {
@@ -427,7 +435,7 @@ fn run_params(
         })
         .expect("Shallow run failed");
 
-    let got = outcome.read_vec(&fields.p);
+    let got = outcome.read_vec(&fields.p.shared_vec());
     let want = reference(&params);
     let check = compare_f64(&got, &want, 1e-9);
     AppRun {

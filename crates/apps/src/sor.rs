@@ -13,7 +13,7 @@
 //! change in early iterations and more change later: the paper's
 //! *variable* write granularity.
 
-use adsm_core::{ProtocolKind, SharedVec};
+use adsm_core::{ProtocolKind, SharedMatrix};
 
 use crate::support::{band, compare_f64, work};
 use crate::{AppRun, RunOptions, Scale};
@@ -64,8 +64,13 @@ impl SorParams {
 /// One red/black half-sweep over the band `[r0, r1)` of the grid held in
 /// `cur`, reading neighbours and writing updated rows. `color` selects
 /// the cells updated in this phase: `(i + j) % 2 == color`.
+///
+/// Each row travels through one span guard: a read view per neighbour
+/// row (one rights check and one access tick per row, elements decoded
+/// straight from the page frames) and one writable row view for the
+/// update.
 fn sweep_rows(
-    grid: &SharedVec<f64>,
+    grid: &SharedMatrix<f64>,
     p: &mut adsm_core::Proc,
     params: &SorParams,
     r0: usize,
@@ -77,9 +82,9 @@ fn sweep_rows(
     let mut here = vec![0.0f64; cols];
     let mut below = vec![0.0f64; cols];
     for i in r0..r1 {
-        grid.read_into(p, (i - 1) * cols, &mut above);
-        grid.read_into(p, i * cols, &mut here);
-        grid.read_into(p, (i + 1) * cols, &mut below);
+        grid.read_row_into(p, i - 1, &mut above);
+        grid.read_row_into(p, i, &mut here);
+        grid.read_row_into(p, i + 1, &mut below);
         let mut changed = false;
         for j in 1..cols - 1 {
             if (i + j) % 2 == color {
@@ -92,7 +97,7 @@ fn sweep_rows(
         }
         p.compute(work(cols / 2, params.ns_per_elem));
         if changed {
-            grid.write_from(p, i * cols, &here);
+            grid.write_row_from(p, i, &here);
         }
     }
 }
@@ -157,7 +162,7 @@ fn run_params(
     opts: &RunOptions,
 ) -> AppRun {
     let mut dsm = opts.builder(protocol, nprocs).build();
-    let grid = dsm.alloc_page_aligned::<f64>(params.rows * params.cols);
+    let grid = dsm.alloc_matrix_page_aligned::<f64>(params.rows, params.cols);
 
     let body_params = params;
     let outcome = dsm
@@ -167,11 +172,11 @@ fn run_params(
                 // Master initialises the fixed boundary (interior stays
                 // zero, as freshly allocated).
                 let ones = vec![1.0f64; cols];
-                grid.write_from(p, 0, &ones);
-                grid.write_from(p, (rows - 1) * cols, &ones);
+                grid.write_row_from(p, 0, &ones);
+                grid.write_row_from(p, rows - 1, &ones);
                 for i in 1..rows - 1 {
-                    grid.set(p, i * cols, 1.0);
-                    grid.set(p, i * cols + cols - 1, 1.0);
+                    grid.set(p, i, 0, 1.0);
+                    grid.set(p, i, cols - 1, 1.0);
                 }
             }
             p.barrier();
@@ -189,7 +194,7 @@ fn run_params(
         })
         .expect("SOR run failed");
 
-    let got = outcome.read_vec(&grid);
+    let got = outcome.read_vec(&grid.shared_vec());
     let want = reference(&params);
     let check = compare_f64(&got, &want, 1e-12);
     AppRun {

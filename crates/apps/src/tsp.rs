@@ -221,38 +221,38 @@ pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &Run
 
             let mut spins = 0u64;
             loop {
-                // Pop one work item.
-                p.lock(LOCK_QUEUE);
-                let top = queue.get(p, 0);
-                let outstanding = queue.get(p, 1);
-                if top == 0 {
-                    p.unlock(LOCK_QUEUE);
-                    if outstanding == 0 {
-                        break; // global termination
+                // Pop one work item inside the queue's critical section;
+                // `Err(done)` reports an empty queue.
+                let popped = p.critical(LOCK_QUEUE, |p| {
+                    let top = queue.get(p, 0);
+                    let outstanding = queue.get(p, 1);
+                    if top == 0 {
+                        return Err(outstanding == 0);
                     }
-                    spins += 1;
-                    assert!(spins < 1_000_000, "TSP termination failure");
-                    p.compute(work(200, params.ns_per_node));
-                    continue;
-                }
-                let rec = 2 + ((top - 1) as usize) * REC_WORDS;
-                let depth = queue.get(p, rec) as usize;
-                let len = queue.get(p, rec + 1);
-                let mask = queue.get(p, rec + 2);
-                let mut path = Vec::with_capacity(n);
-                for d in 0..depth {
-                    path.push(queue.get(p, rec + 3 + d) as u8);
-                }
-                queue.set(p, 0, top - 1);
-                p.unlock(LOCK_QUEUE);
+                    let rec = 2 + ((top - 1) as usize) * REC_WORDS;
+                    let depth = queue.get(p, rec) as usize;
+                    let len = queue.get(p, rec + 1);
+                    let mask = queue.get(p, rec + 2);
+                    let mut path = Vec::with_capacity(n);
+                    for d in 0..depth {
+                        path.push(queue.get(p, rec + 3 + d) as u8);
+                    }
+                    queue.set(p, 0, top - 1);
+                    Ok((depth, len, mask, path))
+                });
+                let (depth, len, mask, path) = match popped {
+                    Err(true) => break, // global termination
+                    Err(false) => {
+                        spins += 1;
+                        assert!(spins < 1_000_000, "TSP termination failure");
+                        p.compute(work(200, params.ns_per_node));
+                        continue;
+                    }
+                    Ok(item) => item,
+                };
 
                 let last = *path.last().expect("nonempty path") as usize;
-                let cur_best = {
-                    p.lock(LOCK_BEST);
-                    let b = best.get(p, 0);
-                    p.unlock(LOCK_BEST);
-                    b
-                };
+                let cur_best = p.critical(LOCK_BEST, |p| best.get(p, 0));
 
                 let mut pushed = 0u64;
                 let mut local_best = cur_best;
@@ -268,20 +268,20 @@ pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &Run
                             if lower_bound(dist, n, mask | (1 << next), next, nlen) >= cur_best {
                                 continue;
                             }
-                            p.lock(LOCK_QUEUE);
-                            let t = queue.get(p, 0);
-                            assert!((t as usize) < QUEUE_CAP, "TSP queue overflow");
-                            let nrec = 2 + (t as usize) * REC_WORDS;
-                            queue.set(p, nrec, (depth + 1) as u64);
-                            queue.set(p, nrec + 1, nlen);
-                            queue.set(p, nrec + 2, mask | (1 << next));
-                            for (d, c) in path.iter().enumerate() {
-                                queue.set(p, nrec + 3 + d, *c as u64);
-                            }
-                            queue.set(p, nrec + 3 + depth, next as u64);
-                            queue.set(p, 0, t + 1);
-                            queue.update(p, 1, |o| o + 1);
-                            p.unlock(LOCK_QUEUE);
+                            p.critical(LOCK_QUEUE, |p| {
+                                let t = queue.get(p, 0);
+                                assert!((t as usize) < QUEUE_CAP, "TSP queue overflow");
+                                let nrec = 2 + (t as usize) * REC_WORDS;
+                                queue.set(p, nrec, (depth + 1) as u64);
+                                queue.set(p, nrec + 1, nlen);
+                                queue.set(p, nrec + 2, mask | (1 << next));
+                                for (d, c) in path.iter().enumerate() {
+                                    queue.set(p, nrec + 3 + d, *c as u64);
+                                }
+                                queue.set(p, nrec + 3 + depth, next as u64);
+                                queue.set(p, 0, t + 1);
+                                queue.update(p, 1, |o| o + 1);
+                            });
                             pushed += 1;
                         }
                         nodes += 1;
@@ -302,20 +302,18 @@ pub fn run_tuned(protocol: ProtocolKind, nprocs: usize, scale: Scale, opts: &Run
                 p.compute(work(nodes as usize, params.ns_per_node));
 
                 if local_best < cur_best {
-                    p.lock(LOCK_BEST);
-                    let b = best.get(p, 0);
-                    if local_best < b {
-                        best.set(p, 0, local_best);
-                    }
-                    p.unlock(LOCK_BEST);
+                    p.critical(LOCK_BEST, |p| {
+                        let b = best.get(p, 0);
+                        if local_best < b {
+                            best.set(p, 0, local_best);
+                        }
+                    });
                 }
 
                 // Account for the completed item (children were already
                 // counted when pushed).
                 let _ = pushed;
-                p.lock(LOCK_QUEUE);
-                queue.update(p, 1, |o| o - 1);
-                p.unlock(LOCK_QUEUE);
+                p.critical(LOCK_QUEUE, |p| queue.update(p, 1, |o| o - 1));
             }
         })
         .expect("TSP run failed");

@@ -192,8 +192,10 @@ fn run_params(
                 // Read all positions (everyone reads the whole array —
                 // the O(n^2) interaction needs them all).
                 for (i, q) in positions.iter_mut().enumerate() {
-                    let v = mol.read_range(p, i * MOL_WORDS + POS, i * MOL_WORDS + POS + 3);
-                    q.copy_from_slice(&v);
+                    // One span view per molecule position: three doubles
+                    // decoded in place, no per-gather vector.
+                    let s = i * MOL_WORDS + POS;
+                    mol.view(p, s..s + 3).copy_to_slice(q);
                 }
 
                 // Pair forces for pairs whose lower index is ours;
@@ -224,11 +226,11 @@ fn run_params(
                     if touched.is_empty() {
                         continue;
                     }
-                    p.lock(100 + owner as u64);
-                    for &i in &touched {
-                        mol.write_from(p, i * MOL_WORDS + my_slot, &scratch[i]);
-                    }
-                    p.unlock(100 + owner as u64);
+                    p.critical(100 + owner as u64, |p| {
+                        for &i in &touched {
+                            mol.write_from(p, i * MOL_WORDS + my_slot, &scratch[i]);
+                        }
+                    });
                 }
                 let _ = owner_of;
                 p.barrier();

@@ -136,6 +136,11 @@ mod seed_floors {
     pub const POOL_COPY_RATIO_MAX: f64 = 1.5;
     /// Exact: steady state allocates nothing.
     pub const ALLOCS_PER_INTERVAL_MAX: f64 = 0.0;
+    /// Acceptance floor for the span-guard read over the old buffered
+    /// `read_into` on a one-page span.
+    pub const SPAN_SPEEDUP_MIN: f64 = 2.0;
+    /// Exact: a steady-state guard span allocates nothing.
+    pub const SPAN_ALLOCS_MAX: f64 = 0.0;
     /// Ceiling on the episode-weighted mean barrier fan-in cost (ns)
     /// of the throughput matrix at the CI smoke settings (tiny scale,
     /// 4 procs). The batched fan-in measures ≈2.0–2.3 µs there
@@ -175,6 +180,20 @@ fn check_hotpaths(report: &adsm_bench::HotpathReport) -> Vec<String> {
             "pool copy ratio {:.2} > ceiling {:.2}",
             report.pool_copy_ratio(),
             seed_floors::POOL_COPY_RATIO_MAX
+        ));
+    }
+    if report.span_speedup() < seed_floors::SPAN_SPEEDUP_MIN {
+        fails.push(format!(
+            "span guard vs legacy read_into speedup {:.2} < floor {:.2}",
+            report.span_speedup(),
+            seed_floors::SPAN_SPEEDUP_MIN
+        ));
+    }
+    if report.span_guard_allocs > seed_floors::SPAN_ALLOCS_MAX {
+        fails.push(format!(
+            "guard-span allocations {:.4}/span > {:.1}",
+            report.span_guard_allocs,
+            seed_floors::SPAN_ALLOCS_MAX
         ));
     }
     if report.fetch_clones > 0 {
@@ -219,9 +238,12 @@ fn main() -> ExitCode {
         println!(
             "\nsparse encode speedup (chunked vs naive): {:.2}x, \
              merge@4 speedup (k-way vs clone+apply): {:.2}x, \
+             span guard vs legacy read_into: {:.2}x ({:.4} allocs/span), \
              steady-state allocs/interval: {:.4}",
             report.sparse_speedup(),
             report.merge4_speedup(),
+            report.span_speedup(),
+            report.span_guard_allocs,
             report.allocs_per_interval
         );
         match std::fs::write("BENCH_hotpaths.json", &json) {

@@ -92,6 +92,16 @@ pub struct HotpathReport {
     pub validate_merge4_seq: f64,
     /// … vs the clone-free k-way merge (`Diff::apply_many`).
     pub validate_merge4_merge: f64,
+    /// Span-guard read of one page (512 u64) through a zero-copy view …
+    pub span_guard_ns: f64,
+    /// … vs the same page decoded by the new buffered `read_into` …
+    pub span_read_into_ns: f64,
+    /// … vs the pre-span-guard `read_into` (per-call byte temporary) …
+    pub span_legacy_read_into_ns: f64,
+    /// … vs a per-element `get` loop (one rights check + tick each).
+    pub span_elem_loop_ns: f64,
+    /// Heap allocations per guard-span read in steady state (target: 0).
+    pub span_guard_allocs: f64,
     /// Deep diff copies on the fetch path of a real MW run (target: 0).
     pub fetch_clones: u64,
     /// Shared-handle diff fetches in the same run (sanity: > 0, the
@@ -121,6 +131,12 @@ impl HotpathReport {
     /// acceptance band is ≤ 1.2).
     pub fn pool_copy_ratio(&self) -> f64 {
         self.pool_get_copy / self.vec_to_vec
+    }
+
+    /// Speedup of the guard-span read over the pre-span-guard
+    /// `read_into` on a one-page span (the acceptance floor is 2×).
+    pub fn span_speedup(&self) -> f64 {
+        self.span_legacy_read_into_ns / self.span_guard_ns
     }
 
     /// Renders the report as a JSON document.
@@ -177,6 +193,27 @@ impl HotpathReport {
         let _ = writeln!(s, "    \"merge4_speedup\": {:.2},", self.merge4_speedup());
         let _ = writeln!(s, "    \"fetch_clones\": {},", self.fetch_clones);
         let _ = writeln!(s, "    \"diffs_fetched\": {}", self.diffs_fetched);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"span_access\": {{");
+        let _ = writeln!(s, "    \"span_elems\": 512,");
+        let _ = writeln!(s, "    \"guard_ns\": {:.1},", self.span_guard_ns);
+        let _ = writeln!(s, "    \"read_into_ns\": {:.1},", self.span_read_into_ns);
+        let _ = writeln!(
+            s,
+            "    \"legacy_read_into_ns\": {:.1},",
+            self.span_legacy_read_into_ns
+        );
+        let _ = writeln!(s, "    \"elem_loop_ns\": {:.1},", self.span_elem_loop_ns);
+        let _ = writeln!(
+            s,
+            "    \"guard_vs_legacy_speedup\": {:.2},",
+            self.span_speedup()
+        );
+        let _ = writeln!(
+            s,
+            "    \"guard_allocs_per_span\": {:.4}",
+            self.span_guard_allocs
+        );
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"pool\": {{");
         let _ = writeln!(s, "    \"get_copy_ns\": {:.1},", self.pool_get_copy);
@@ -244,6 +281,62 @@ fn sor_run(iters: usize) -> RunReport {
     })
     .expect("SOR bench run completes")
     .report
+}
+
+/// Timed numbers of the `span_access` section: the application-facing
+/// access layer on a one-page span (512 u64), measured **inside** a
+/// single-processor MW run so every path pays its real per-access
+/// machinery (rights checks, ticks, turn points).
+fn measure_span_access() -> (f64, f64, f64, f64, f64) {
+    use std::sync::{Arc, Mutex};
+    const ELEMS: usize = 512; // exactly one page of u64
+    let mut dsm = Dsm::builder(ProtocolKind::Mw).nprocs(1).build();
+    let data = dsm.alloc_page_aligned::<u64>(ELEMS);
+    let out = Arc::new(Mutex::new((0.0, 0.0, 0.0, 0.0, 0.0)));
+    let sink = out.clone();
+    dsm.run(move |p| {
+        // Fault the page in for write once; reads never fault again.
+        let seed: Vec<u64> = (0..ELEMS as u64).collect();
+        data.write_from(p, 0, &seed);
+        let mut buf = vec![0u64; ELEMS];
+
+        // Guard span: zero-copy view, elements decoded in place.
+        let guard = time_ns(|| {
+            let v = data.view(p, 0..ELEMS);
+            std::hint::black_box(v.iter().fold(0u64, u64::wrapping_add));
+        });
+        // New buffered bulk path (span guard + decode into a buffer).
+        let read_into = time_ns(|| {
+            data.read_into(p, 0, &mut buf);
+            std::hint::black_box(buf.iter().copied().fold(0u64, u64::wrapping_add));
+        });
+        // The pre-span-guard bulk path: per-call byte temporary.
+        let legacy = time_ns(|| {
+            data.legacy_read_into(p, 0, &mut buf);
+            std::hint::black_box(buf.iter().copied().fold(0u64, u64::wrapping_add));
+        });
+        // Element loop: one rights check + tick + turn point per load.
+        let elem_loop = time_ns(|| {
+            let mut sum = 0u64;
+            for i in 0..ELEMS {
+                sum = sum.wrapping_add(data.get(p, i));
+            }
+            std::hint::black_box(sum);
+        });
+        // Steady-state allocations per guard span (exact, per-thread).
+        const ROUNDS: u64 = 4096;
+        let before = crate::alloc_count::thread_allocs();
+        for _ in 0..ROUNDS {
+            let v = data.view(p, 0..ELEMS);
+            std::hint::black_box(v.at(11));
+        }
+        let allocs = (crate::alloc_count::thread_allocs() - before) as f64 / ROUNDS as f64;
+
+        *sink.lock().unwrap() = (guard, read_into, legacy, elem_loop, allocs);
+    })
+    .expect("span-access bench run completes");
+    let res = *out.lock().unwrap();
+    res
 }
 
 /// Runs the whole hot-path suite.
@@ -319,6 +412,14 @@ pub fn measure_hotpaths() -> HotpathReport {
         std::hint::black_box(adsm_engine::sched_pick_rounds(8, Some(42), ROUNDS));
     }) / ROUNDS as f64;
 
+    let (
+        span_guard_ns,
+        span_read_into_ns,
+        span_legacy_read_into_ns,
+        span_elem_loop_ns,
+        span_guard_allocs,
+    ) = measure_span_access();
+
     let short = sor_run(SOR_SHORT_ITERS);
     let long = sor_run(SOR_LONG_ITERS);
     // The fetch path of a real MW run: diffs must flow to validations as
@@ -353,6 +454,11 @@ pub fn measure_hotpaths() -> HotpathReport {
         pick_fuzz_8,
         validate_merge4_seq,
         validate_merge4_merge,
+        span_guard_ns,
+        span_read_into_ns,
+        span_legacy_read_into_ns,
+        span_elem_loop_ns,
+        span_guard_allocs,
         fetch_clones,
         diffs_fetched,
         allocs_per_interval,
@@ -407,6 +513,11 @@ mod tests {
             pick_fuzz_8: 1.0,
             validate_merge4_seq: 300.0,
             validate_merge4_merge: 100.0,
+            span_guard_ns: 500.0,
+            span_read_into_ns: 700.0,
+            span_legacy_read_into_ns: 1500.0,
+            span_elem_loop_ns: 9000.0,
+            span_guard_allocs: 0.0,
             fetch_clones: 0,
             diffs_fetched: 12,
             allocs_per_interval: 0.0,
@@ -416,10 +527,13 @@ mod tests {
         assert!((r.sparse_speedup() - 4.0).abs() < 1e-9);
         assert!((r.merge4_speedup() - 3.0).abs() < 1e-9);
         assert!((r.pool_copy_ratio() - 1.0).abs() < 1e-9);
+        assert!((r.span_speedup() - 3.0).abs() < 1e-9);
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"sparse_speedup\": 4.00"));
         assert!(json.contains("\"merge4_speedup\": 3.00"));
+        assert!(json.contains("\"guard_vs_legacy_speedup\": 3.00"));
+        assert!(json.contains("\"guard_allocs_per_span\": 0.0000"));
         assert!(json.contains("\"fetch_clones\": 0"));
         assert!(json.contains("\"allocs_per_interval\": 0.0000"));
     }

@@ -20,6 +20,7 @@ use adsm_apps::{kernels, run_app, App, AppRun, Scale};
 use adsm_core::{ProtocolKind, SimTime};
 
 mod ablation;
+pub mod alloc_count;
 pub mod hotpaths;
 pub mod throughput;
 

@@ -75,9 +75,9 @@ mod system;
 mod world;
 
 pub use config::{AdaptPolicyKind, DiffStrategy, DsmConfig, HomePolicy, ProtocolKind};
-pub use memio::SharedVec;
+pub use memio::{SharedMatrix, SharedVec, SharedView, SharedViewMut};
 pub use metrics::{NsHistogram, ProtocolStats, RunReport};
-pub use proc::Proc;
+pub use proc::{LockGuard, Proc};
 pub use profile::{GrainClass, ProfileSummary};
 pub use system::{Dsm, DsmBuilder, RunError, RunOutcome};
 

@@ -7,13 +7,14 @@
 //! protection; denied accesses invoke the coherence protocol exactly as
 //! a SIGSEGV handler would in TreadMarks.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 use adsm_engine::Task;
 use adsm_mempage::{FaultKind, PageFault, PagedMemory};
 use adsm_netsim::SimTime;
 use adsm_vclock::ProcId;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::protocol::{self, sync, Ctx, Protocol};
 use crate::world::World;
@@ -136,6 +137,11 @@ impl Proc {
     /// needed. Successful accesses charge memory time and offer a turn
     /// point, so other processors' protocol actions (ownership grants,
     /// invalidations) can land *between* accesses, as on real hardware.
+    ///
+    /// This is the pre-span-guard per-call path, retained only as the
+    /// baseline under
+    /// [`SharedVec::legacy_read_into`](crate::SharedVec::legacy_read_into);
+    /// everything else runs on [`span_guard`](Proc::span_guard).
     pub(crate) fn read_bytes(&mut self, addr: usize, buf: &mut [u8]) {
         loop {
             let fault: PageFault = {
@@ -154,24 +160,6 @@ impl Proc {
         }
     }
 
-    /// Checked write of `data` at `addr`, faulting pages in as needed.
-    pub(crate) fn write_bytes(&mut self, addr: usize, data: &[u8]) {
-        loop {
-            let fault: PageFault = {
-                let mut mem = self.mems[self.id.index()].lock();
-                match mem.try_write(addr, data) {
-                    Ok(()) => {
-                        drop(mem);
-                        self.access_tick(data.len());
-                        return;
-                    }
-                    Err(f) => f,
-                }
-            };
-            self.handle_fault(fault);
-        }
-    }
-
     fn access_tick(&mut self, bytes: usize) {
         self.task.advance(
             self.access_cost
@@ -179,6 +167,119 @@ impl Proc {
         );
         if !self.raw {
             self.task.yield_turn();
+        }
+    }
+
+    /// Faults the byte span `[addr, addr+len)` in for `kind` accesses
+    /// and pins its rights: resolves page faults one at a time exactly
+    /// like the pre-span per-call byte paths (of which
+    /// [`read_bytes`](Proc::read_bytes) survives as the legacy bench
+    /// baseline) would, then returns with the
+    /// processor's memory mutex **held** — the backbone of the span-guard
+    /// views ([`SharedView`](crate::SharedView) /
+    /// [`SharedViewMut`](crate::SharedViewMut)).
+    ///
+    /// While the guard is alive this task never yields, so no other
+    /// processor's protocol action can revoke the span's rights: one
+    /// rights check, one mutex acquisition and (at
+    /// [`SpanGuard::finish`]) one access tick cover the whole span.
+    pub(crate) fn span_guard(&mut self, addr: usize, len: usize, kind: FaultKind) -> SpanGuard<'_> {
+        let id = self.id;
+        let proto = self.proto;
+        let access_cost = self.access_cost;
+        let mem_per_byte_ns = self.mem_per_byte_ns;
+        let raw = self.raw;
+        // Disjoint field borrows of `self`: the engine task (mutable) and
+        // the shared memory/world handles, so the returned guard can hold
+        // the memory lock *and* the task handle it ticks on drop.
+        let Proc {
+            task, world, mems, ..
+        } = self;
+        let world: &Mutex<World> = world;
+        let mems: &[Mutex<PagedMemory>] = mems;
+        let mem_mutex = &mems[id.index()];
+        loop {
+            let mem = mem_mutex.lock();
+            let Some(fault) = mem.first_fault(addr, len, kind) else {
+                return SpanGuard {
+                    mem: Some(mem),
+                    task,
+                    access_cost,
+                    mem_per_byte_ns,
+                    raw,
+                };
+            };
+            drop(mem);
+            // Same sequence as `handle_fault`: faults are protocol
+            // interactions, so a turn point comes first, then the
+            // protocol resolves the fault and the span check retries.
+            task.yield_turn();
+            let mut w = world.lock();
+            let mut ctx = Ctx {
+                w: &mut w,
+                mems,
+                task: &mut *task,
+            };
+            match fault.kind {
+                FaultKind::Read => protocol::read_fault(&mut ctx, proto, id, fault.page),
+                FaultKind::Write => protocol::write_fault(&mut ctx, proto, id, fault.page),
+            }
+        }
+    }
+
+    /// Runs `body` with lock `lock_id` held: acquires, runs, releases —
+    /// the structured form of the [`lock`](Proc::lock) /
+    /// [`unlock`](Proc::unlock) pair, with the release guaranteed on
+    /// every exit path of `body`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ProtocolKind};
+    ///
+    /// let mut dsm = Dsm::builder(ProtocolKind::Wfs).nprocs(2).build();
+    /// let counter = dsm.alloc::<u64>(1);
+    /// let outcome = dsm
+    ///     .run(move |p| {
+    ///         p.critical(0, |p| counter.update(p, 0, |v| v + 1));
+    ///         p.barrier();
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(outcome.read_vec(&counter)[0], 2);
+    /// ```
+    pub fn critical<R>(&mut self, lock_id: u64, body: impl FnOnce(&mut Proc) -> R) -> R {
+        let mut guard = self.lock_guard(lock_id);
+        body(&mut guard)
+    }
+
+    /// Acquires lock `lock_id` and returns an RAII guard that releases
+    /// it on drop. The guard derefs to the [`Proc`], so shared-memory
+    /// accesses inside the critical section go through the guard.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ProtocolKind};
+    ///
+    /// let mut dsm = Dsm::builder(ProtocolKind::Wfs).nprocs(2).build();
+    /// let counter = dsm.alloc::<u64>(1);
+    /// let outcome = dsm
+    ///     .run(move |p| {
+    ///         {
+    ///             let mut cs = p.lock_guard(7);
+    ///             let v = counter.get(&mut cs, 0);
+    ///             counter.set(&mut cs, 0, v + 1);
+    ///         }
+    ///         p.barrier();
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(outcome.read_vec(&counter)[0], 2);
+    /// ```
+    pub fn lock_guard(&mut self, lock_id: u64) -> LockGuard<'_> {
+        self.lock(lock_id);
+        LockGuard {
+            proc: self,
+            lock_id,
         }
     }
 
@@ -199,5 +300,93 @@ impl Proc {
 
     pub(crate) fn is_raw(cfg: ProtocolKind) -> bool {
         cfg == ProtocolKind::Raw
+    }
+}
+
+/// The machinery under a span view: the processor's memory lock, held
+/// for the span's lifetime, plus the task handle and cost parameters
+/// needed to charge the span's single access tick when it ends.
+///
+/// Invariant: the holder never yields the engine turn while the lock is
+/// held (the tick's `yield_turn` happens in [`SpanGuard::finish`],
+/// *after* the lock is released), so other processors — which only run
+/// at turn points — can neither deadlock on this memory nor revoke the
+/// span's page rights mid-span.
+pub(crate) struct SpanGuard<'a> {
+    /// The held memory lock; `None` once finished.
+    mem: Option<MutexGuard<'a, PagedMemory>>,
+    task: &'a mut Task,
+    access_cost: SimTime,
+    mem_per_byte_ns: u64,
+    raw: bool,
+}
+
+impl SpanGuard<'_> {
+    /// The guarded memory (read side).
+    pub fn mem(&self) -> &PagedMemory {
+        self.mem.as_ref().expect("span guard holds the memory lock")
+    }
+
+    /// The guarded memory (write side).
+    pub fn mem_mut(&mut self) -> &mut PagedMemory {
+        self.mem.as_mut().expect("span guard holds the memory lock")
+    }
+
+    /// Ends the span: releases the memory lock first, then charges one
+    /// access tick for `bytes` and offers the span's single turn point
+    /// — the same sequence (and therefore the same virtual-time and
+    /// scheduling behaviour) as one bulk byte read or write
+    /// call over the span had under the pre-span access layer.
+    pub fn finish(&mut self, bytes: usize) {
+        self.mem = None;
+        self.task.advance(
+            self.access_cost
+                .max(SimTime::from_ns(self.mem_per_byte_ns * bytes as u64)),
+        );
+        if !self.raw {
+            self.task.yield_turn();
+        }
+    }
+}
+
+/// RAII guard for a DSM lock, returned by [`Proc::lock_guard`]: derefs
+/// to the [`Proc`] and releases the lock when dropped.
+pub struct LockGuard<'a> {
+    proc: &'a mut Proc,
+    lock_id: u64,
+}
+
+impl LockGuard<'_> {
+    /// The id of the held lock.
+    pub fn lock_id(&self) -> u64 {
+        self.lock_id
+    }
+}
+
+impl Deref for LockGuard<'_> {
+    type Target = Proc;
+    fn deref(&self) -> &Proc {
+        self.proc
+    }
+}
+
+impl DerefMut for LockGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Proc {
+        self.proc
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        self.proc.unlock(self.lock_id);
+    }
+}
+
+impl std::fmt::Debug for LockGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockGuard")
+            .field("lock_id", &self.lock_id)
+            .field("proc", &self.proc.id)
+            .finish()
     }
 }

@@ -105,8 +105,14 @@ pub(crate) fn fetch_from_home(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         let delta = {
             let pc = &ctx.w.procs[pidx].pages[pgidx];
             pc.twin.as_ref().map(|twin| {
+                // Dirty-window bound: the open session's delta lives in
+                // the bytes written since the twin was taken (a
+                // fetch-installed twin starts with a full-page window).
                 let mem = ctx.mems[pidx].lock();
-                Diff::encode(twin, mem.page(page))
+                let mut delta = Diff::default();
+                let (lo, hi) = mem.dirty_span(page).unwrap_or((0, 0));
+                Diff::encode_span_into(twin, mem.page(page), lo, hi, &mut delta);
+                delta
             })
         };
 

@@ -64,6 +64,22 @@ impl<'a> Ctx<'a> {
 /// Payload bytes of small protocol control messages (requests etc.).
 pub(crate) const CTRL_BYTES: usize = 16;
 
+/// Encodes the diff of `page` against `twin`, scanning only the page's
+/// dirty watermark — the byte window every store since the twin was
+/// taken is recorded in
+/// ([`PagedMemory::dirty_span`]). Span-guard writes record exactly the
+/// stored range, so a span that dirtied 64 bytes of a page costs a
+/// 64-byte scan, not a page walk; unchecked protocol-side mutations
+/// widen the window to the whole page, keeping the bound conservative.
+/// Run-for-run identical to a full [`Diff::encode`] (debug builds
+/// assert the outside-window bytes are untouched).
+fn encode_dirty_window(mem: &PagedMemory, twin: &[u8], page: PageId) -> adsm_mempage::Diff {
+    let mut diff = adsm_mempage::Diff::default();
+    let (lo, hi) = mem.dirty_span(page).unwrap_or((0, 0));
+    adsm_mempage::Diff::encode_span_into(twin, mem.page(page), lo, hi, &mut diff);
+    diff
+}
+
 /// Closes `p`'s open interval if it wrote anything: creates write
 /// notices, and — for MW-mode pages — encodes the interval's diffs
 /// against their twins and re-protects the pages (eager per-interval
@@ -161,7 +177,7 @@ pub(crate) fn close_interval(
                     } else {
                         let diff = {
                             let mem = mems[p.index()].lock();
-                            adsm_mempage::Diff::encode(&twin, mem.page(page))
+                            encode_dirty_window(&mem, &twin, page)
                         };
                         w.proto.twin_dropped(PAGE_SIZE);
                         let modified = diff.modified_bytes();
@@ -223,7 +239,7 @@ pub(crate) fn close_interval(
                     .take()
                     .expect("MW-dirty page must have a twin");
                 let mut mem = mems[p.index()].lock();
-                let diff = adsm_mempage::Diff::encode(&twin, mem.page(page));
+                let diff = encode_dirty_window(&mem, &twin, page);
                 mem.set_rights(page, AccessRights::Read);
                 drop(mem);
                 w.proto.twin_dropped(PAGE_SIZE);
@@ -691,8 +707,18 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         let pc = &ctx.w.procs[pidx].pages[pgidx];
         match pc.twin.as_ref() {
             Some(twin) => {
+                // Same dirty-window bound as the close-time encode: the
+                // open session's delta can only live inside the bytes
+                // written since the twin was taken.
                 let mem = ctx.mems[pidx].lock();
-                adsm_mempage::Diff::encode_into(twin, mem.page(page), &mut scratch.delta);
+                let (lo, hi) = mem.dirty_span(page).unwrap_or((0, 0));
+                adsm_mempage::Diff::encode_span_into(
+                    twin,
+                    mem.page(page),
+                    lo,
+                    hi,
+                    &mut scratch.delta,
+                );
                 true
             }
             None => false,

@@ -34,7 +34,15 @@ pub(crate) fn ensure_twin_and_write(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) 
         // interval's retained twin must be encoded now ("forced diff").
         let mcost = lrc::materialize_pending(ctx.w, ctx.mems, p, page);
         ctx.charge(mcost);
-        let twin = ctx.w.pool.get_copy(ctx.mems[pidx].lock().page(page));
+        let twin = {
+            let mut mem = ctx.mems[pidx].lock();
+            // The twin is an exact snapshot of the frame: reset the
+            // dirty watermark so it bounds precisely the bytes that can
+            // differ from this twin — the window the interval-close
+            // diff encode scans.
+            mem.clear_dirty_span(page);
+            ctx.w.pool.get_copy(mem.page(page))
+        };
         ctx.w.procs[pidx].pages[pgidx].twin = Some(twin);
         let cost = ctx.w.cfg.cost.twin;
         ctx.charge(cost);

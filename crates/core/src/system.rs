@@ -280,6 +280,23 @@ impl Dsm {
         self.alloc(len)
     }
 
+    /// Allocates a `rows x cols` row-major matrix (8-byte aligned).
+    pub fn alloc_matrix<T: Pod>(&mut self, rows: usize, cols: usize) -> crate::SharedMatrix<T> {
+        crate::SharedMatrix::new(self.alloc(rows * cols), rows, cols)
+    }
+
+    /// Allocates a `rows x cols` row-major matrix starting on a fresh
+    /// page — with a page-multiple row length this gives the banded
+    /// row layout the paper's applications use (no write-write false
+    /// sharing across bands).
+    pub fn alloc_matrix_page_aligned<T: Pod>(
+        &mut self,
+        rows: usize,
+        cols: usize,
+    ) -> crate::SharedMatrix<T> {
+        crate::SharedMatrix::new(self.alloc_page_aligned(rows * cols), rows, cols)
+    }
+
     /// Pads the shared space to the next page boundary (so the next
     /// allocation does not share a page with the previous one).
     pub fn pad_to_page(&mut self) {

@@ -10,7 +10,47 @@
 //! — while the buffer traffic itself (twin creation, page fetches) keeps
 //! flowing through recycling.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
 use adsm_core::{Dsm, ProtocolKind, RunReport, SimTime};
+
+thread_local! {
+    /// Heap allocations performed by *this* thread (`Cell<u64>` has no
+    /// destructor, so the TLS slot is safe to touch from the allocator
+    /// at any point in a thread's life).
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting allocations per thread: each
+/// simulated processor runs on its own thread, so a closure can measure
+/// exactly its own allocation count, immune to concurrently running
+/// tests.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a per-thread
+// `Cell` bump with no allocation or unwinding of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// This thread's allocation count so far.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
 
 const NPROCS: usize = 4;
 const N: usize = 64; // grid side; rows are page-aligned u64 lanes
@@ -259,6 +299,46 @@ fn lazy_flush_steady_state_never_encodes() {
         long.proto.lazy_flush_encodes, 0,
         "undemanded steady-state closes must never encode"
     );
+}
+
+/// Steady-state bulk span accesses perform **zero** heap allocations:
+/// once the covered pages are faulted in, `read_into`, `write_from`,
+/// and explicit span views move bytes straight between the page frames
+/// and caller buffers — the per-call `vec![0u8; n]` temporaries of the
+/// pre-span-guard bulk paths are gone. Counted with a per-thread
+/// allocation counter inside the application closure, so the pin is
+/// exact (not a pool proxy) and immune to other tests' threads.
+#[test]
+fn steady_state_bulk_spans_allocate_nothing() {
+    const ELEMS: usize = 2048; // four pages of u64
+    let mut dsm = Dsm::builder(ProtocolKind::Mw).nprocs(1).build();
+    let data = dsm.alloc_page_aligned::<u64>(ELEMS);
+    dsm.run(move |p| {
+        let mut buf = vec![0u64; ELEMS];
+        // Warm-up: fault every page in for write, then read once.
+        data.write_from(p, 0, &buf);
+        data.read_into(p, 0, &mut buf);
+        let before = thread_allocs();
+        for round in 0..64u64 {
+            data.read_into(p, 0, &mut buf);
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v = v.wrapping_add(round ^ i as u64);
+            }
+            data.write_from(p, 0, &buf);
+            // Explicit guard spans: zero-copy read and in-place writes.
+            let sum: u64 = data.view(p, 7..519).iter().fold(0, u64::wrapping_add);
+            let mut w = data.view_mut(p, 1000..1008);
+            w.set(0, sum);
+            w.update(1, |v| v ^ sum);
+            drop(w);
+        }
+        let spent = thread_allocs() - before;
+        assert_eq!(
+            spent, 0,
+            "steady-state bulk spans performed {spent} heap allocations"
+        );
+    })
+    .expect("bulk-span run completes");
 }
 
 /// The pool's working set stays bounded by the live twin population

@@ -1,0 +1,290 @@
+//! Behavioural pins of the span-guard access layer.
+//!
+//! The contract: a span view is *observationally identical* to the
+//! element-wise access sequence it replaces — same bytes read, same
+//! bytes written, same final memory images — while holding rights for
+//! the whole span. Properties cover spans crossing page boundaries,
+//! zero-length spans, read-after-write inside one guard scope, and
+//! out-of-bounds panics; a value-equality suite pins old-style
+//! (element/bulk call) application bodies against view-based ports
+//! across every protocol.
+
+use std::sync::{Arc, Mutex};
+
+use adsm_core::{Dsm, ProtocolKind, SharedVec, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// Elements per page for `u64` arrays.
+const EPP: usize = PAGE_SIZE / 8;
+
+/// Runs a single-processor MW cluster over a 4-page array, seeds it
+/// deterministically, and returns what `body` extracted.
+fn probe<R: Send + 'static>(
+    body: impl Fn(&mut adsm_core::Proc, SharedVec<u64>) -> R + Send + Sync + 'static,
+) -> R {
+    let mut dsm = Dsm::builder(ProtocolKind::Mw).nprocs(1).build();
+    let data = dsm.alloc_page_aligned::<u64>(4 * EPP);
+    let out: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+    let sink = out.clone();
+    dsm.run(move |p| {
+        // Deterministic seed content: x -> x * phi mixing.
+        let seed: Vec<u64> = (0..data.len() as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 7))
+            .collect();
+        data.write_from(p, 0, &seed);
+        *sink.lock().unwrap() = Some(body(p, data));
+    })
+    .expect("probe run");
+    Arc::try_unwrap(out)
+        .ok()
+        .expect("single handle")
+        .into_inner()
+        .unwrap()
+        .expect("body ran")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A read view decodes exactly the values element-wise `get`s
+    /// return, for arbitrary spans — including spans crossing page
+    /// boundaries and the zero-length span.
+    #[test]
+    fn view_reads_equal_elementwise_gets(
+        (start, end) in (0usize..4 * EPP, 0usize..=4 * EPP)
+            .prop_map(|(a, b)| (a.min(b), a.max(b))),
+    ) {
+        let (via_view, via_gets) = probe(move |p, data| {
+            let view = data.view(p, start..end);
+            assert_eq!(view.len(), end - start);
+            assert_eq!(view.is_empty(), start == end);
+            let from_view = view.to_vec();
+            // `at` and `iter` agree with the bulk decode.
+            for (k, v) in view.iter().enumerate() {
+                assert_eq!(v, view.at(k));
+            }
+            drop(view);
+            let from_gets: Vec<u64> =
+                (start..end).map(|i| data.get(p, i)).collect();
+            (from_view, from_gets)
+        });
+        prop_assert_eq!(via_view, via_gets);
+    }
+
+    /// Writing through a span view leaves the same final image as the
+    /// element-wise `set` loop over the same range, across page
+    /// boundaries.
+    #[test]
+    fn view_writes_equal_elementwise_sets(
+        (start, end) in (0usize..4 * EPP, 0usize..=4 * EPP)
+            .prop_map(|(a, b)| (a.min(b), a.max(b))),
+        salt in any::<u64>(),
+    ) {
+        let run = |use_view: bool| {
+            let mut dsm = Dsm::builder(ProtocolKind::Mw).nprocs(1).build();
+            let data = dsm.alloc_page_aligned::<u64>(4 * EPP);
+            let outcome = dsm
+                .run(move |p| {
+                    let vals: Vec<u64> = (start..end)
+                        .map(|i| (i as u64).wrapping_mul(salt | 1))
+                        .collect();
+                    if use_view {
+                        let mut w = data.view_mut(p, start..end);
+                        for (k, v) in vals.iter().enumerate() {
+                            w.set(k, *v);
+                        }
+                    } else {
+                        for (k, v) in vals.iter().enumerate() {
+                            data.set(p, start + k, *v);
+                        }
+                    }
+                })
+                .expect("write run");
+            outcome.read_vec(&data)
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Reads after writes within one guard scope observe the written
+    /// values (`set`/`update`/`fill`/`copy_from_slice` all included).
+    #[test]
+    fn read_after_write_within_one_guard(
+        start in 0usize..3 * EPP,
+        len in 1usize..EPP,
+        v0 in any::<u64>(),
+    ) {
+        probe(move |p, data| {
+            let mut w = data.view_mut(p, start..start + len);
+            w.set(0, v0);
+            assert_eq!(w.at(0), v0);
+            w.update(0, |x| x.wrapping_add(3));
+            assert_eq!(w.at(0), v0.wrapping_add(3));
+            w.fill(7);
+            assert!(w.iter().all(|x| x == 7));
+            let vals: Vec<u64> = (0..len as u64).collect();
+            w.copy_from_slice(&vals);
+            for k in 0..len {
+                assert_eq!(w.at(k), k as u64);
+            }
+        });
+    }
+}
+
+/// The bulk calls are the span machinery: `read_into` decodes the same
+/// values as a view, and both equal element-wise `get`s — one concrete
+/// multi-page case as a deterministic anchor for the properties above.
+#[test]
+fn bulk_calls_ride_the_span_machinery() {
+    let (a, b, c) = probe(|p, data| {
+        let start = EPP - 3; // crosses the first page boundary
+        let len = EPP + 6; // and the second
+        let mut buf = vec![0u64; len];
+        data.read_into(p, start, &mut buf);
+        let viewed = data.view(p, start..start + len).to_vec();
+        let gets: Vec<u64> = (start..start + len).map(|i| data.get(p, i)).collect();
+        (buf, viewed, gets)
+    });
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+/// Zero-length views at every position — including one-past-the-end —
+/// are legal no-ops.
+#[test]
+fn zero_length_spans_are_noops() {
+    probe(|p, data| {
+        let n = data.len();
+        for at in [0, 1, EPP, n - 1, n] {
+            let v = data.view(p, at..at);
+            assert!(v.is_empty());
+            assert_eq!(v.to_vec(), Vec::<u64>::new());
+            drop(v);
+            let w = data.view_mut(p, at..at);
+            assert!(w.is_empty());
+        }
+        data.read_into(p, n, &mut []);
+        data.write_from(p, n, &[]);
+        assert_eq!(data.read_range(p, n, n), Vec::<u64>::new());
+    });
+}
+
+#[test]
+#[should_panic(expected = "bad span range")]
+fn view_rejects_out_of_bounds_ranges() {
+    probe(|p, data| {
+        let n = data.len();
+        let _ = data.view(p, n - 1..n + 1);
+    });
+}
+
+#[test]
+#[should_panic(expected = "bad span range")]
+fn view_mut_rejects_decreasing_ranges() {
+    probe(|p, data| {
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = data.view_mut(p, 5..1);
+    });
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn view_indexing_is_bounds_checked() {
+    probe(|p, data| {
+        let v = data.view(p, 0..4);
+        let _ = v.at(4);
+    });
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn view_mut_indexing_is_bounds_checked() {
+    probe(|p, data| {
+        let mut w = data.view_mut(p, 0..4);
+        w.set(4, 1);
+    });
+}
+
+/// Old-API application body (element `get`/`set`, bulk
+/// `read_into`/`write_from`, bare `lock`/`unlock`) vs its span-guard
+/// port (`view`/`view_mut`/`critical`): the final memory images must be
+/// value-identical under every protocol. This is the migration-safety
+/// pin for the application ports in `crates/apps`.
+#[test]
+fn old_and_new_api_bodies_produce_identical_images() {
+    const N: usize = 2 * 512; // two pages of f64
+    let run = |new_api: bool, protocol: ProtocolKind| {
+        let mut dsm = Dsm::builder(protocol).nprocs(4).build();
+        let grid = dsm.alloc_page_aligned::<f64>(N);
+        let total = dsm.alloc_page_aligned::<f64>(1);
+        let outcome = dsm
+            .run(move |p| {
+                let chunk = N / p.nprocs();
+                let base = p.index() * chunk;
+                // Init: banded ramp.
+                if new_api {
+                    let vals: Vec<f64> = (0..chunk).map(|i| (base + i) as f64).collect();
+                    grid.view_mut(p, base..base + chunk).copy_from_slice(&vals);
+                } else {
+                    for i in 0..chunk {
+                        grid.set(p, base + i, (base + i) as f64);
+                    }
+                }
+                p.barrier();
+                // Smooth: read the neighbour band, then — after a
+                // barrier, so reads never race the writes — update own.
+                for _ in 0..3 {
+                    let nb = ((p.index() + 1) % p.nprocs()) * chunk;
+                    let mut neigh = vec![0.0f64; chunk];
+                    if new_api {
+                        grid.view(p, nb..nb + chunk).copy_to_slice(&mut neigh);
+                    } else {
+                        grid.read_into(p, nb, &mut neigh);
+                    }
+                    p.barrier();
+                    let mean = neigh.iter().sum::<f64>() / chunk as f64;
+                    if new_api {
+                        let mut w = grid.view_mut(p, base..base + chunk);
+                        for k in 0..chunk {
+                            w.update(k, |v| 0.5 * (v + mean));
+                        }
+                    } else {
+                        for k in 0..chunk {
+                            grid.update(p, base + k, |v| 0.5 * (v + mean));
+                        }
+                    }
+                    p.barrier();
+                }
+                // Lock-protected reduction.
+                if new_api {
+                    p.critical(9, |p| {
+                        let mine: f64 = grid.view(p, base..base + chunk).iter().sum();
+                        total.update(p, 0, |t| t + mine);
+                    });
+                } else {
+                    p.lock(9);
+                    let mut mine = 0.0;
+                    for k in 0..chunk {
+                        mine += grid.get(p, base + k);
+                    }
+                    total.update(p, 0, |t| t + mine);
+                    p.unlock(9);
+                }
+                p.barrier();
+            })
+            .expect("equivalence run");
+        (outcome.read_vec(&grid), outcome.read_vec(&total))
+    };
+    for protocol in [
+        ProtocolKind::Mw,
+        ProtocolKind::Sw,
+        ProtocolKind::Wfs,
+        ProtocolKind::WfsWg,
+        ProtocolKind::Sc,
+        ProtocolKind::Hlrc,
+    ] {
+        let (old_grid, old_total) = run(false, protocol);
+        let (new_grid, new_total) = run(true, protocol);
+        assert_eq!(old_grid, new_grid, "{protocol}: grid images diverge");
+        assert_eq!(old_total, new_total, "{protocol}: reductions diverge");
+    }
+}

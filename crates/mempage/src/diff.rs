@@ -154,6 +154,50 @@ impl Diff {
     pub fn encode_into(twin: &[u8], current: &[u8], out: &mut Diff) {
         assert_eq!(twin.len(), PAGE_SIZE, "twin must be one page");
         assert_eq!(current.len(), PAGE_SIZE, "page must be one page");
+        Self::encode_blocks_into(twin, current, 0, BLOCKS_PER_PAGE, out);
+    }
+
+    /// Like [`Diff::encode_into`], but scans only the 64-byte blocks
+    /// overlapping the page-relative byte window `[lo, hi)` — the dirty
+    /// watermark a span guard (or any tracked write path) recorded.
+    ///
+    /// The caller guarantees every byte outside the window is identical
+    /// between `twin` and `current` (debug builds assert it); under that
+    /// contract the result is run-for-run identical to a full
+    /// [`Diff::encode`], because a run can only extend through equal
+    /// words inside the scanned window. `lo >= hi` means "nothing was
+    /// written" and produces an empty diff.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both slices are exactly one page long and
+    /// `hi <= PAGE_SIZE`.
+    pub fn encode_span_into(twin: &[u8], current: &[u8], lo: usize, hi: usize, out: &mut Diff) {
+        assert_eq!(twin.len(), PAGE_SIZE, "twin must be one page");
+        assert_eq!(current.len(), PAGE_SIZE, "page must be one page");
+        assert!(hi <= PAGE_SIZE, "window [{lo}, {hi}) beyond the page");
+        if lo >= hi {
+            out.runs.clear();
+            out.data.clear();
+            debug_assert_eq!(twin, current, "clean window over a modified page");
+            return;
+        }
+        debug_assert!(
+            twin[..lo] == current[..lo] && twin[hi..] == current[hi..],
+            "bytes outside the dirty window [{lo}, {hi}) differ"
+        );
+        Self::encode_blocks_into(
+            twin,
+            current,
+            lo / BLOCK_BYTES,
+            hi.div_ceil(BLOCK_BYTES),
+            out,
+        );
+    }
+
+    /// Shared body of [`Diff::encode_into`] and
+    /// [`Diff::encode_span_into`]: scans blocks `blo..bhi`.
+    fn encode_blocks_into(twin: &[u8], current: &[u8], blo: usize, bhi: usize, out: &mut Diff) {
         out.runs.clear();
         out.data.clear();
         // The open run, [run_start, run_stop) in words; closed and
@@ -185,10 +229,11 @@ impl Diff {
         let mut masks = [0u16; BLOCKS_PER_PAGE];
         let mut dirty_blocks = 0u64;
         {
-            let blocks = twin
+            let blocks = twin[blo * BLOCK_BYTES..bhi * BLOCK_BYTES]
                 .chunks_exact(BLOCK_BYTES)
-                .zip(current.chunks_exact(BLOCK_BYTES));
+                .zip(current[blo * BLOCK_BYTES..bhi * BLOCK_BYTES].chunks_exact(BLOCK_BYTES));
             for (bi, (tb, cb)) in blocks.enumerate() {
+                let bi = blo + bi;
                 let tb: &Block = tb.try_into().expect("exact chunk");
                 let cb: &Block = cb.try_into().expect("exact chunk");
                 if HAS_WIDE_MASK {
@@ -592,6 +637,46 @@ mod tests {
         let twin = vec![1u8; PAGE_SIZE];
         let cur = vec![2u8; PAGE_SIZE];
         assert_eq!(Diff::encode(&twin, &cur), Diff::encode_naive(&twin, &cur));
+    }
+
+    /// The windowed encoder must reproduce the full scan exactly when
+    /// the window covers every modified byte — including windows cut
+    /// mid-block, at page edges, and empty windows.
+    #[test]
+    fn encode_span_matches_full_encode() {
+        let cases: &[(&[usize], (usize, usize))] = &[
+            (&[], (0, 0)),  // clean page, empty window
+            (&[0], (0, 1)), // first byte, 1-byte window
+            (&[PAGE_SIZE - 1], (PAGE_SIZE - 1, PAGE_SIZE)),
+            (&[63, 64], (63, 65)),               // run across a block edge
+            (&[100, 101, 102, 103], (100, 104)), // window not block-aligned
+            (&[8, 72, 136], (8, 137)),           // multiple blocks
+            (&[500], (400, 700)),                // window wider than the change
+        ];
+        for (bytes, (lo, hi)) in cases {
+            let twin = vec![0u8; PAGE_SIZE];
+            let mut cur = twin.clone();
+            for &b in *bytes {
+                cur[b] = 0xEE;
+            }
+            let mut windowed = Diff::default();
+            Diff::encode_span_into(&twin, &cur, *lo, *hi, &mut windowed);
+            assert_eq!(
+                windowed,
+                Diff::encode(&twin, &cur),
+                "mismatch for dirty bytes {bytes:?} window [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_span_empty_window_clears_reused_buffers() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(8, 1)]);
+        let mut d = Diff::encode(&twin, &cur);
+        assert!(!d.is_empty());
+        Diff::encode_span_into(&twin, &twin.clone(), 10, 10, &mut d);
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -114,7 +114,24 @@ impl std::error::Error for PageFault {}
 pub struct PagedMemory {
     bytes: Vec<u8>,
     rights: Vec<AccessRights>,
+    /// Per-page dirty watermarks `[lo, hi)` (page-relative bytes): the
+    /// window every modification since the last
+    /// [`clear_dirty_span`](PagedMemory::clear_dirty_span) is known to
+    /// fall into. `lo > hi` encodes "clean". Checked mutation paths
+    /// ([`try_write`](PagedMemory::try_write),
+    /// [`write_unchecked`](PagedMemory::write_unchecked)) widen the
+    /// window exactly; unchecked ones
+    /// ([`page_mut`](PagedMemory::page_mut),
+    /// [`install_page`](PagedMemory::install_page)) widen it to the
+    /// whole page, so the window is always a sound bound for diffing.
+    dirty: Vec<(u16, u16)>,
 }
+
+/// "Clean" watermark sentinel: `lo` past the page end, `hi` at zero.
+const CLEAN: (u16, u16) = (PAGE_SIZE as u16, 0);
+
+// The watermarks store page-relative offsets in u16.
+const _: () = assert!(PAGE_SIZE <= u16::MAX as usize);
 
 impl PagedMemory {
     /// Creates a zero-filled space of `npages` pages, all invalid.
@@ -122,6 +139,27 @@ impl PagedMemory {
         PagedMemory {
             bytes: vec![0; npages * PAGE_SIZE],
             rights: vec![AccessRights::None; npages],
+            dirty: vec![CLEAN; npages],
+        }
+    }
+
+    /// Widens the dirty watermark of every page touched by
+    /// `[addr, addr+len)` with the touched sub-range.
+    #[inline]
+    fn widen_dirty(&mut self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let end = addr + len;
+        let first = addr / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        for idx in first..=last {
+            let base = idx * PAGE_SIZE;
+            let lo = addr.max(base) - base;
+            let hi = end.min(base + PAGE_SIZE) - base;
+            let w = &mut self.dirty[idx];
+            w.0 = w.0.min(lo as u16);
+            w.1 = w.1.max(hi as u16);
         }
     }
 
@@ -185,7 +223,71 @@ impl PagedMemory {
     pub fn try_write(&mut self, addr: usize, data: &[u8]) -> Result<(), PageFault> {
         self.check(addr, data.len(), FaultKind::Write)?;
         self.bytes[addr..addr + data.len()].copy_from_slice(data);
+        self.widen_dirty(addr, data.len());
         Ok(())
+    }
+
+    /// Store of `data` at `addr` with **no rights check**: the write
+    /// half of a span guard, whose rights were checked once when the
+    /// guard faulted its whole span in. Widens the dirty watermark by
+    /// exactly the stored range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the address space. Debug builds
+    /// additionally assert every touched page is writable (a guard
+    /// holding the memory lock cannot lose rights mid-span).
+    #[inline]
+    pub fn write_unchecked(&mut self, addr: usize, data: &[u8]) {
+        debug_assert!(
+            self.check(addr, data.len(), FaultKind::Write).is_ok(),
+            "write_unchecked outside a writable span"
+        );
+        self.bytes[addr..addr + data.len()].copy_from_slice(data);
+        self.widen_dirty(addr, data.len());
+    }
+
+    /// Mutable slice of `[addr, addr+len)` with **no rights check** —
+    /// the bulk-write surface of a span guard whose rights were checked
+    /// at creation. The whole range counts as written: the dirty
+    /// watermarks of every covered page are widened over it immediately
+    /// (callers that write only part of the span should use
+    /// [`write_unchecked`](PagedMemory::write_unchecked) instead, which
+    /// tracks exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the address space. Debug builds
+    /// additionally assert every touched page is writable.
+    #[inline]
+    pub fn span_unchecked_mut(&mut self, addr: usize, len: usize) -> &mut [u8] {
+        debug_assert!(
+            self.check(addr, len, FaultKind::Write).is_ok(),
+            "span_unchecked_mut outside a writable span"
+        );
+        self.widen_dirty(addr, len);
+        &mut self.bytes[addr..addr + len]
+    }
+
+    /// The dirty watermark of `page`: the page-relative byte window
+    /// `[lo, hi)` every modification since the last
+    /// [`clear_dirty_span`](PagedMemory::clear_dirty_span) is contained
+    /// in, or `None` if the page is clean. The window is conservative
+    /// (never narrower than the true modified range), which is what
+    /// makes it a sound scan bound for
+    /// [`Diff::encode_span_into`](crate::Diff::encode_span_into).
+    #[inline]
+    pub fn dirty_span(&self, page: PageId) -> Option<(usize, usize)> {
+        let (lo, hi) = self.dirty[page.index()];
+        (lo < hi).then_some((lo as usize, hi as usize))
+    }
+
+    /// Resets `page`'s dirty watermark to clean — called when a twin is
+    /// taken, so the watermark bounds exactly the bytes that can differ
+    /// from that twin.
+    #[inline]
+    pub fn clear_dirty_span(&mut self, page: PageId) {
+        self.dirty[page.index()] = CLEAN;
     }
 
     /// First page in `[addr, addr+len)` whose rights deny `kind`, if any.
@@ -233,12 +335,15 @@ impl PagedMemory {
         &self.bytes[base..base + PAGE_SIZE]
     }
 
-    /// Unchecked mutable view of one page (protocol-side use).
+    /// Unchecked mutable view of one page (protocol-side use). The
+    /// caller may rewrite anything, so the page's dirty watermark
+    /// conservatively widens to the whole page.
     ///
     /// # Panics
     ///
     /// Panics if `page` is out of range.
     pub fn page_mut(&mut self, page: PageId) -> &mut [u8] {
+        self.dirty[page.index()] = (0, PAGE_SIZE as u16);
         let base = page.base_addr();
         &mut self.bytes[base..base + PAGE_SIZE]
     }
@@ -320,5 +425,46 @@ mod tests {
     fn out_of_range_access_panics() {
         let mem = PagedMemory::new(1);
         let _ = mem.try_read(PAGE_SIZE - 1, 2);
+    }
+
+    #[test]
+    fn dirty_span_tracks_checked_writes() {
+        let mut mem = PagedMemory::new(2);
+        let pg = PageId::new(0);
+        mem.set_rights(pg, AR::Write);
+        assert_eq!(mem.dirty_span(pg), None);
+        mem.try_write(8, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(mem.dirty_span(pg), Some((8, 12)));
+        mem.try_write(100, &[9]).unwrap();
+        assert_eq!(mem.dirty_span(pg), Some((8, 101)));
+        // Zero-length writes leave the watermark alone.
+        mem.try_write(0, &[]).unwrap();
+        assert_eq!(mem.dirty_span(pg), Some((8, 101)));
+        mem.clear_dirty_span(pg);
+        assert_eq!(mem.dirty_span(pg), None);
+    }
+
+    #[test]
+    fn dirty_span_splits_across_pages() {
+        let mut mem = PagedMemory::new(2);
+        mem.set_rights(PageId::new(0), AR::Write);
+        mem.set_rights(PageId::new(1), AR::Write);
+        mem.write_unchecked(PAGE_SIZE - 2, &[1, 2, 3, 4]);
+        assert_eq!(
+            mem.dirty_span(PageId::new(0)),
+            Some((PAGE_SIZE - 2, PAGE_SIZE))
+        );
+        assert_eq!(mem.dirty_span(PageId::new(1)), Some((0, 2)));
+    }
+
+    #[test]
+    fn unchecked_mutation_widens_to_full_page() {
+        let mut mem = PagedMemory::new(1);
+        let pg = PageId::new(0);
+        let _ = mem.page_mut(pg);
+        assert_eq!(mem.dirty_span(pg), Some((0, PAGE_SIZE)));
+        mem.clear_dirty_span(pg);
+        mem.install_page(pg, &vec![3u8; PAGE_SIZE]);
+        assert_eq!(mem.dirty_span(pg), Some((0, PAGE_SIZE)));
     }
 }

@@ -46,10 +46,16 @@ macro_rules! impl_pod {
             impl Pod for $t {
                 const SIZE: usize = std::mem::size_of::<$t>();
 
+                // Inline across crates: these are the per-element
+                // encode/decode steps of every span view — as calls they
+                // dominate whole-span decodes; inlined they fold into
+                // plain unaligned loads/stores and vectorise.
+                #[inline]
                 fn store_le(self, buf: &mut [u8]) {
                     buf[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
                 }
 
+                #[inline]
                 fn load_le(buf: &[u8]) -> Self {
                     let mut raw = [0u8; std::mem::size_of::<$t>()];
                     raw.copy_from_slice(&buf[..Self::SIZE]);

@@ -63,6 +63,37 @@ proptest! {
         }
     }
 
+    /// The windowed encoder agrees with the full scan whenever the
+    /// window covers every modified byte — the contract the dirty
+    /// watermarks guarantee: edits are confined to a random window and
+    /// the window is additionally widened by random slack.
+    #[test]
+    fn encode_span_matches_full_scan(
+        base in page_strategy(),
+        (lo, hi) in (0usize..PAGE_SIZE, 0usize..=PAGE_SIZE)
+            .prop_map(|(a, b)| (a.min(b), a.max(b))),
+        edits in prop::collection::vec((0usize..PAGE_SIZE, any::<u8>()), 0..32),
+        slack in (0usize..128, 0usize..128),
+    ) {
+        let twin = base.clone();
+        let mut cur = base;
+        for (i, v) in edits {
+            if i >= lo && i < hi {
+                cur[i] = v;
+            }
+        }
+        let full = Diff::encode(&twin, &cur);
+        let mut windowed = Diff::default();
+        // Exact window.
+        Diff::encode_span_into(&twin, &cur, lo, hi, &mut windowed);
+        prop_assert_eq!(&windowed, &full);
+        // Widened window (the watermark is allowed to be conservative).
+        let wlo = lo.saturating_sub(slack.0);
+        let whi = (hi + slack.1).min(PAGE_SIZE);
+        Diff::encode_span_into(&twin, &cur, wlo, whi, &mut windowed);
+        prop_assert_eq!(&windowed, &full);
+    }
+
     /// Diff size accounting: modified_bytes is word-aligned, bounded by the
     /// page size, and wire_size is consistent with it.
     #[test]

@@ -23,11 +23,13 @@ fn migratory_rounds(migratory_opt: bool, rounds: usize) -> RunReport {
     let data = dsm.alloc_page_aligned::<u64>(512); // one page
     dsm.run(move |p| {
         for _ in 0..rounds {
-            p.lock(0);
-            for i in 0..data.len() {
-                data.update(p, i, |v| v + 1);
-            }
-            p.unlock(0);
+            // The critical section keeps the read-miss-then-write
+            // pattern the migratory detector looks for.
+            p.critical(0, |p| {
+                for i in 0..data.len() {
+                    data.update(p, i, |v| v + 1);
+                }
+            });
             p.compute(SimTime::from_us(300));
         }
         p.barrier();

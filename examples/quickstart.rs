@@ -24,22 +24,27 @@ fn main() {
             let chunk = n / p.nprocs();
             let base = p.index() * chunk;
 
-            // Processor 0 initialises, everyone waits.
+            // Processor 0 initialises, everyone waits. A writable span
+            // view faults the whole array in once and encodes straight
+            // into the page frames.
             if p.index() == 0 {
                 let ramp: Vec<f64> = (0..n).map(|i| i as f64).collect();
-                data.write_from(p, 0, &ramp);
+                data.view_mut(p, ..).copy_from_slice(&ramp);
             }
             p.barrier();
 
             // Ten smoothing sweeps over the local band, reading one
-            // element past each edge (neighbour communication).
+            // element past each edge (neighbour communication). The
+            // read view is a zero-copy window: one rights check and one
+            // access tick cover the whole band, and `at` decodes
+            // elements straight from the page frames.
             for _ in 0..10 {
                 let lo = base.saturating_sub(1);
                 let hi = (base + chunk + 1).min(n);
-                let window = data.read_range(p, lo, hi);
+                let window = data.view(p, lo..hi);
                 let smoothed: Vec<f64> = (base..base + chunk)
                     .map(|i| {
-                        let w = |j: usize| window[j - lo];
+                        let w = |j: usize| window.at(j - lo);
                         if i == 0 || i == n - 1 {
                             w(i)
                         } else {
@@ -47,7 +52,9 @@ fn main() {
                         }
                     })
                     .collect();
-                data.write_from(p, base, &smoothed);
+                drop(window); // end of the read span: tick + turn point
+                data.view_mut(p, base..base + chunk)
+                    .copy_from_slice(&smoothed);
                 p.compute(SimTime::from_us(500)); // modelled FLOPs
                 p.barrier();
             }
