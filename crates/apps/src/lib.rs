@@ -231,6 +231,10 @@ pub struct RunOptions {
     /// (`validate_page`, barrier fan-in) into the run report; used by
     /// `repro bench-throughput`.
     pub measure_host_costs: bool,
+    /// Execution backend: the deterministic simulator scheduler
+    /// (default) or real OS threads. Mutually exclusive with
+    /// `schedule_fuzz`.
+    pub backend: adsm_core::ExecBackend,
 }
 
 impl RunOptions {
@@ -251,6 +255,7 @@ impl RunOptions {
         }
         b = b.diff_strategy(self.diff_strategy);
         b = b.measure_host_costs(self.measure_host_costs);
+        b = b.backend(self.backend);
         b
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [targets] [--scale tiny|small|paper] [--nprocs N] [--apps a,b,..]
-//!       [--smoke] [--check]
+//!       [--backend sim|threads|both] [--smoke] [--check]
 //!
 //! targets: table1 table2 table3 table4 fig1 fig2 fig3 all  (default: all)
 //!          related ablation-quantum ablation-wg ablation-gc
@@ -11,12 +11,17 @@
 //!          bench-hotpaths    (also writes BENCH_hotpaths.json)
 //!          bench-throughput  (also writes BENCH_throughput.json)
 //!
+//! --backend  execution backend(s) for bench-throughput: the
+//!          deterministic simulator, real OS threads, or both
+//!          (default: both — the JSON carries the sim columns plus the
+//!          `@threads` comparison columns)
 //! --smoke  bench-throughput at tiny scale / 4 procs (CI-budget run)
 //! --check  fail (exit 1) when a benchmark regresses past the seed
 //!          floors (sparse encode speedup, allocs/interval, fetch-path
 //!          clones, merge speedup, pool copy ratio; for
-//!          bench-throughput also the clone/skip invariants and, at
-//!          smoke settings, the barrier fan-in ceiling)
+//!          bench-throughput also the clone/skip invariants, the
+//!          presence of every requested backend's rows and, at smoke
+//!          settings, the sim-row barrier fan-in ceiling)
 //! ```
 //!
 //! The emitted JSON files are documented field-by-field in
@@ -30,12 +35,14 @@ use adsm_bench::{
     ablation_quantum, ablation_wg, fig1, fig2, fig2_shape_checks, fig3, related, scaling,
     sensitivity, table1, table2, table3, table4, Matrix,
 };
+use adsm_core::ExecBackend;
 
 struct Options {
     targets: Vec<String>,
     scale: Scale,
     nprocs: usize,
     apps: Vec<App>,
+    backends: Vec<ExecBackend>,
     smoke: bool,
     check: bool,
 }
@@ -45,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::Small;
     let mut nprocs = 8usize;
     let mut apps: Vec<App> = App::ALL.to_vec();
+    let mut backends = vec![ExecBackend::Sim, ExecBackend::Threads];
     let mut smoke = false;
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -65,6 +73,14 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("bad --nprocs")?;
+            }
+            "--backend" => {
+                backends = match args.next().as_deref() {
+                    Some("sim") => vec![ExecBackend::Sim],
+                    Some("threads") => vec![ExecBackend::Threads],
+                    Some("both") => vec![ExecBackend::Sim, ExecBackend::Threads],
+                    other => return Err(format!("bad --backend {other:?}")),
+                };
             }
             "--apps" => {
                 let list = args.next().ok_or("missing --apps value")?;
@@ -87,7 +103,7 @@ fn parse_args() -> Result<Options, String> {
                      \x20       bench-hotpaths\n\
                      \x20       bench-throughput]\n\
                      \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]\n\
-                     \x20      [--smoke] [--check]"
+                     \x20      [--backend sim|threads|both] [--smoke] [--check]"
                 );
                 std::process::exit(0);
             }
@@ -115,6 +131,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         nprocs,
         apps,
+        backends,
         smoke,
         check,
     })
@@ -272,12 +289,26 @@ fn main() -> ExitCode {
         } else {
             (opts.scale, opts.nprocs)
         };
+        let backend_names: Vec<&str> = opts
+            .backends
+            .iter()
+            .map(|b| match b {
+                ExecBackend::Sim => "sim",
+                ExecBackend::Threads => "threads",
+            })
+            .collect();
         eprintln!(
-            "measuring end-to-end throughput ({} apps x 5 protocols, {scale} scale, \
+            "measuring end-to-end throughput ({} apps x 5 protocols x [{}], {scale} scale, \
              {nprocs} procs)...",
-            opts.apps.len()
+            opts.apps.len(),
+            backend_names.join(", ")
         );
-        let report = adsm_bench::throughput::measure_throughput_filtered(nprocs, scale, &opts.apps);
+        let report = adsm_bench::throughput::measure_throughput_backends(
+            nprocs,
+            scale,
+            &opts.apps,
+            &opts.backends,
+        );
         println!("{}", adsm_bench::throughput::summary_table(&report));
         let json = report.to_json();
         match std::fs::write("BENCH_throughput.json", &json) {
@@ -285,6 +316,15 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("could not write BENCH_throughput.json: {e}"),
         }
         if opts.check {
+            // Every requested backend must actually have produced rows —
+            // a threads column silently falling out of the JSON is a
+            // regression of the cross-backend bench, not a soft skip.
+            for b in &opts.backends {
+                if !report.has_backend(*b) {
+                    eprintln!("REGRESSION: backend {b:?} requested but absent from the report");
+                    return ExitCode::FAILURE;
+                }
+            }
             let clones: u64 = report.rows.iter().map(|r| r.diff_fetch_clones).sum();
             let skips: u64 = report.rows.iter().map(|r| r.missing_diff_skips).sum();
             let ship_clones: u64 = report.rows.iter().map(|r| r.notice_ship_clones).sum();

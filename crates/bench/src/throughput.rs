@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use adsm_apps::{run_app_tuned, App, RunOptions, Scale};
-use adsm_core::{ProtocolKind, RunReport};
+use adsm_core::{ExecBackend, ProtocolKind, RunReport};
 
 /// The protocol configurations swept per application: the four
 /// protocols of the paper's Figure 2 (derived from
@@ -30,10 +30,13 @@ pub const THROUGHPUT_PROTOCOLS: [ProtocolKind; 5] = [
     ProtocolKind::Sc,
 ];
 
-/// One `(app, protocol)` cell of the throughput matrix.
+/// One `(app, protocol, backend)` cell of the throughput matrix.
 pub struct ThroughputRow {
     pub app: App,
     pub proto: ProtocolKind,
+    /// Execution backend the run used: the deterministic simulator
+    /// scheduler or real OS threads.
+    pub backend: ExecBackend,
     /// Host wall-clock of the verified run, milliseconds. Includes the
     /// app's sequential verification pass — deterministic per (app,
     /// scale), so the number stays comparable across PRs.
@@ -104,20 +107,77 @@ impl ThroughputReport {
         }
     }
 
-    /// Episode-weighted mean barrier fan-in cost (ns) across the whole
-    /// matrix — the aggregate `repro bench-throughput --check` gates
-    /// against the seed ceiling. Zero when no row has barriers.
+    /// Episode-weighted mean barrier fan-in cost (ns) across the
+    /// matrix's **simulator** rows — the aggregate `repro
+    /// bench-throughput --check` gates against the seed ceiling. Thread
+    /// rows are excluded: under real parallelism the fan-in wall time
+    /// includes lock contention and cross-core traffic, so it is not
+    /// comparable with the calibrated single-schedule ceiling. Zero
+    /// when no simulator row has barriers.
     pub fn barrier_fanin_mean_ns(&self) -> f64 {
-        let episodes: u64 = self.rows.iter().map(|r| r.barrier_episodes).sum();
+        let sim = || self.rows.iter().filter(|r| r.backend == ExecBackend::Sim);
+        let episodes: u64 = sim().map(|r| r.barrier_episodes).sum();
         if episodes == 0 {
             return 0.0;
         }
-        let total: f64 = self
-            .rows
-            .iter()
+        let total: f64 = sim()
             .map(|r| r.barrier_mean_ns * r.barrier_episodes as f64)
             .sum();
         total / episodes as f64
+    }
+
+    /// Aggregate events/sec over one backend's rows (total events over
+    /// total wall time). Zero when that backend has no rows.
+    pub fn total_events_per_sec_for(&self, backend: ExecBackend) -> f64 {
+        let rows: Vec<&ThroughputRow> = self.rows.iter().filter(|r| r.backend == backend).collect();
+        let events: u64 = rows.iter().map(|r| r.sim_events).sum();
+        let wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
+        if wall_ms <= 0.0 {
+            0.0
+        } else {
+            events as f64 * 1e3 / wall_ms
+        }
+    }
+
+    /// Per-app aggregate events/sec for one backend (over that app's
+    /// protocol rows). `None` when the app has no rows under it.
+    pub fn app_events_per_sec(&self, app: App, backend: ExecBackend) -> Option<f64> {
+        let rows: Vec<&ThroughputRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.app == app && r.backend == backend)
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let events: u64 = rows.iter().map(|r| r.sim_events).sum();
+        let wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
+        (wall_ms > 0.0).then(|| events as f64 * 1e3 / wall_ms)
+    }
+
+    /// Cross-backend comparison: of the apps measured under **both**
+    /// backends, how many process more events per wall second under
+    /// threads? Returns `(faster_under_threads, apps_compared)` —
+    /// `(0, 0)` when either backend is absent.
+    pub fn threads_faster_apps(&self) -> (usize, usize) {
+        let mut faster = 0usize;
+        let mut compared = 0usize;
+        for app in App::ALL {
+            let sim = self.app_events_per_sec(app, ExecBackend::Sim);
+            let thr = self.app_events_per_sec(app, ExecBackend::Threads);
+            if let (Some(sim), Some(thr)) = (sim, thr) {
+                compared += 1;
+                if thr > sim {
+                    faster += 1;
+                }
+            }
+        }
+        (faster, compared)
+    }
+
+    /// Does the matrix contain any row measured under `backend`?
+    pub fn has_backend(&self, backend: ExecBackend) -> bool {
+        self.rows.iter().any(|r| r.backend == backend)
     }
 
     /// Renders the report as a JSON document.
@@ -137,6 +197,32 @@ impl ThroughputReport {
             "  \"barrier_fanin_mean_ns\": {:.0},",
             self.barrier_fanin_mean_ns()
         );
+        let backends: Vec<&str> = [ExecBackend::Sim, ExecBackend::Threads]
+            .into_iter()
+            .filter(|b| self.has_backend(*b))
+            .map(|b| b.name())
+            .collect();
+        let _ = writeln!(
+            s,
+            "  \"backends\": [{}],",
+            backends
+                .iter()
+                .map(|b| format!("\"{b}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if self.has_backend(ExecBackend::Threads) {
+            let _ = writeln!(
+                s,
+                "  \"threads_total_events_per_sec\": {:.0},",
+                self.total_events_per_sec_for(ExecBackend::Threads)
+            );
+        }
+        if self.has_backend(ExecBackend::Sim) && self.has_backend(ExecBackend::Threads) {
+            let (faster, compared) = self.threads_faster_apps();
+            let _ = writeln!(s, "  \"threads_faster_apps\": {faster},");
+            let _ = writeln!(s, "  \"apps_compared\": {compared},");
+        }
         let _ = writeln!(s, "  \"apps\": {{");
         let apps: Vec<App> = App::ALL
             .iter()
@@ -147,7 +233,14 @@ impl ThroughputReport {
             let _ = writeln!(s, "    \"{}\": {{", app.name());
             let rows: Vec<&ThroughputRow> = self.rows.iter().filter(|r| r.app == *app).collect();
             for (pi, row) in rows.iter().enumerate() {
-                let _ = writeln!(s, "      \"{}\": {{", row.proto.name());
+                // Simulator rows keep their bare protocol key (stable
+                // across PRs); thread rows are the `@threads` columns.
+                let key = match row.backend {
+                    ExecBackend::Sim => row.proto.name().to_string(),
+                    ExecBackend::Threads => format!("{}@threads", row.proto.name()),
+                };
+                let _ = writeln!(s, "      \"{key}\": {{");
+                let _ = writeln!(s, "        \"backend\": \"{}\",", row.backend.name());
                 let _ = writeln!(s, "        \"wall_ms\": {:.1},", row.wall_ms);
                 let _ = writeln!(s, "        \"sim_events\": {},", row.sim_events);
                 let _ = writeln!(s, "        \"events_per_sec\": {:.0},", row.events_per_sec);
@@ -215,54 +308,78 @@ impl ThroughputReport {
 }
 
 /// Runs the full matrix: all eight applications under the four
-/// evaluated protocols at the given scale. Every run is verified
-/// against the app's sequential reference; a verification failure
-/// panics (a wrong simulator has no meaningful throughput).
+/// evaluated protocols at the given scale, on the simulator backend.
+/// Every run is verified against the app's sequential reference; a
+/// verification failure panics (a wrong simulator has no meaningful
+/// throughput).
 pub fn measure_throughput(nprocs: usize, scale: Scale) -> ThroughputReport {
     measure_throughput_filtered(nprocs, scale, &App::ALL)
 }
 
-/// As [`measure_throughput`] over a subset of the applications.
+/// As [`measure_throughput`] over a subset of the applications
+/// (simulator backend only).
 pub fn measure_throughput_filtered(nprocs: usize, scale: Scale, apps: &[App]) -> ThroughputReport {
-    let opts = RunOptions {
-        measure_host_costs: true,
-        ..RunOptions::default()
-    };
+    measure_throughput_backends(nprocs, scale, apps, &[ExecBackend::Sim])
+}
+
+/// The full generality: a subset of applications, measured under each
+/// requested execution backend in turn. Rows are grouped app-major,
+/// then backend, then protocol, so an app's sim and threads columns sit
+/// next to each other in the JSON.
+pub fn measure_throughput_backends(
+    nprocs: usize,
+    scale: Scale,
+    apps: &[App],
+    backends: &[ExecBackend],
+) -> ThroughputReport {
     let mut rows = Vec::new();
     for &app in apps {
-        for proto in THROUGHPUT_PROTOCOLS {
-            eprintln!("  [throughput] {app} {proto}...");
-            let t0 = Instant::now();
-            let run = run_app_tuned(app, proto, nprocs, scale, &opts);
-            let wall = t0.elapsed();
-            assert!(run.ok, "{app} under {proto} failed: {}", run.detail);
-            let report = &run.outcome.report;
-            let events = sim_events(report);
-            let wall_ms = wall.as_secs_f64() * 1e3;
-            let vw = &report.proto.validate_wall;
-            let bw = &report.proto.barrier_wall;
-            rows.push(ThroughputRow {
-                app,
-                proto,
-                wall_ms,
-                sim_events: events,
-                events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
-                validate_p50_ns: vw.percentile_ns(0.50),
-                validate_p90_ns: vw.percentile_ns(0.90),
-                validate_p99_ns: vw.percentile_ns(0.99),
-                validate_mean_ns: vw.mean_ns(),
-                validate_calls: vw.count(),
-                barrier_mean_ns: bw.mean_ns(),
-                barrier_episodes: bw.count(),
-                barrier_p50_ns: bw.percentile_ns(0.50),
-                barrier_p90_ns: bw.percentile_ns(0.90),
-                barrier_p99_ns: bw.percentile_ns(0.99),
-                interval_close_allocs: report.proto.interval_close_allocs,
-                diff_fetch_clones: report.proto.diff_fetch_clones,
-                diffs_fetched: report.proto.diffs_fetched,
-                missing_diff_skips: report.proto.missing_diff_skips,
-                notice_ship_clones: report.proto.notice_ship_clones,
-            });
+        for &backend in backends {
+            let opts = RunOptions {
+                measure_host_costs: true,
+                backend,
+                ..RunOptions::default()
+            };
+            for proto in THROUGHPUT_PROTOCOLS {
+                eprintln!("  [throughput] {app} {proto} ({})...", backend.name());
+                let t0 = Instant::now();
+                let run = run_app_tuned(app, proto, nprocs, scale, &opts);
+                let wall = t0.elapsed();
+                assert!(
+                    run.ok,
+                    "{app} under {proto} ({}) failed: {}",
+                    backend.name(),
+                    run.detail
+                );
+                let report = &run.outcome.report;
+                let events = sim_events(report);
+                let wall_ms = wall.as_secs_f64() * 1e3;
+                let vw = &report.proto.validate_wall;
+                let bw = &report.proto.barrier_wall;
+                rows.push(ThroughputRow {
+                    app,
+                    proto,
+                    backend,
+                    wall_ms,
+                    sim_events: events,
+                    events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+                    validate_p50_ns: vw.percentile_ns(0.50),
+                    validate_p90_ns: vw.percentile_ns(0.90),
+                    validate_p99_ns: vw.percentile_ns(0.99),
+                    validate_mean_ns: vw.mean_ns(),
+                    validate_calls: vw.count(),
+                    barrier_mean_ns: bw.mean_ns(),
+                    barrier_episodes: bw.count(),
+                    barrier_p50_ns: bw.percentile_ns(0.50),
+                    barrier_p90_ns: bw.percentile_ns(0.90),
+                    barrier_p99_ns: bw.percentile_ns(0.99),
+                    interval_close_allocs: report.proto.interval_close_allocs,
+                    diff_fetch_clones: report.proto.diff_fetch_clones,
+                    diffs_fetched: report.proto.diffs_fetched,
+                    missing_diff_skips: report.proto.missing_diff_skips,
+                    notice_ship_clones: report.proto.notice_ship_clones,
+                });
+            }
         }
     }
     ThroughputReport {
@@ -282,15 +399,16 @@ pub fn summary_table(r: &ThroughputReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<8} {:<7} {:>9} {:>12} {:>12} {:>10} {:>10} {:>9}",
-        "App", "Proto", "wall ms", "events", "events/s", "val p50", "val p99", "val n"
+        "{:<8} {:<7} {:<8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "App", "Proto", "Backend", "wall ms", "events", "events/s", "val p50", "val p99", "val n"
     );
     for row in &r.rows {
         let _ = writeln!(
             out,
-            "{:<8} {:<7} {:>9.1} {:>12} {:>12.0} {:>10} {:>10} {:>9}",
+            "{:<8} {:<7} {:<8} {:>9.1} {:>12} {:>12.0} {:>10} {:>10} {:>9}",
             row.app.name(),
             row.proto.name(),
+            row.backend.name(),
             row.wall_ms,
             row.sim_events,
             row.events_per_sec,
@@ -307,6 +425,16 @@ pub fn summary_table(r: &ThroughputReport) -> String {
         r.rows.iter().map(|x| x.diff_fetch_clones).sum::<u64>(),
         r.rows.iter().map(|x| x.notice_ship_clones).sum::<u64>()
     );
+    if r.has_backend(ExecBackend::Sim) && r.has_backend(ExecBackend::Threads) {
+        let (faster, compared) = r.threads_faster_apps();
+        let _ = writeln!(
+            out,
+            "backends: sim {:.0} events/s, threads {:.0} events/s; threads faster on \
+             {faster}/{compared} apps",
+            r.total_events_per_sec_for(ExecBackend::Sim),
+            r.total_events_per_sec_for(ExecBackend::Threads),
+        );
+    }
     out
 }
 
@@ -350,6 +478,30 @@ mod tests {
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"barrier_fanin_p99_ns\""));
         assert!(json.contains("\"interval_close_allocs\""));
+        assert!(json.contains("\"backends\": [\"sim\"]"));
         assert!(summary_table(&r).contains("SOR"));
+    }
+
+    #[test]
+    fn both_backends_render_side_by_side() {
+        let r = measure_throughput_backends(
+            2,
+            Scale::Tiny,
+            &[App::Sor],
+            &[ExecBackend::Sim, ExecBackend::Threads],
+        );
+        assert_eq!(r.rows.len(), 10, "5 protocols x 2 backends");
+        assert!(r.has_backend(ExecBackend::Sim) && r.has_backend(ExecBackend::Threads));
+        let (_, compared) = r.threads_faster_apps();
+        assert_eq!(compared, 1, "SOR measured under both backends");
+        // The sim-only fan-in gate must ignore thread rows entirely.
+        let sim_only = measure_throughput_filtered(2, Scale::Tiny, &[App::Sor]);
+        assert!(sim_only.barrier_fanin_mean_ns() > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"backends\": [\"sim\", \"threads\"]"));
+        assert!(json.contains("\"MW@threads\""));
+        assert!(json.contains("\"backend\": \"threads\""));
+        assert!(json.contains("\"threads_faster_apps\""));
+        assert!(summary_table(&r).contains("threads"));
     }
 }

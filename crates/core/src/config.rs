@@ -81,6 +81,43 @@ impl ProtocolKind {
     }
 }
 
+/// Which execution backend drives the simulated processors.
+///
+/// The protocol stack is backend-agnostic (all shared state sits behind
+/// the world and per-memory mutexes); the backend decides *who runs
+/// when* and what blocking means physically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// The deterministic turn-based simulator: one OS thread per
+    /// processor, exactly one executing at a time, interleaving fixed by
+    /// virtual clocks. Bit-for-bit reproducible; the repository's
+    /// measurement and verification oracle.
+    #[default]
+    Sim,
+    /// Free-running OS threads: processors execute in parallel, lock
+    /// waits / page fetches / barrier arrivals park the thread for real,
+    /// and virtual clocks become passive cost accumulators. Fast and
+    /// host-parallel, but the interleaving — and therefore any
+    /// schedule-dependent measurement — is not reproducible.
+    Threads,
+}
+
+impl ExecBackend {
+    /// Label used in benchmark tables and JSON (`sim` / `threads`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecBackend::Sim => "sim",
+            ExecBackend::Threads => "threads",
+        }
+    }
+}
+
+impl fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Which adaptation policy drives the per-page SW/MW mode decisions of
 /// the adaptive protocols.
 ///
@@ -261,6 +298,11 @@ pub struct DsmConfig {
     /// the timestamps cost ~50 ns per measured call, which `repro
     /// bench-throughput` accepts and ordinary runs should not pay.
     pub measure_host_costs: bool,
+    /// Execution backend: the deterministic simulator (default) or
+    /// free-running OS threads. Mutually exclusive with
+    /// [`schedule_fuzz`](Self::schedule_fuzz) — fuzzing is a property of
+    /// the simulator's scheduler.
+    pub backend: ExecBackend,
 }
 
 impl DsmConfig {
@@ -279,6 +321,7 @@ impl DsmConfig {
             adapt_policy: None,
             sc_check: std::env::var_os("ADSM_SC_CHECK").is_some(),
             measure_host_costs: false,
+            backend: ExecBackend::default(),
         }
     }
 }

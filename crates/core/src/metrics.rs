@@ -94,10 +94,18 @@ pub struct ProtocolStats {
     /// is unchanged — the steady state of an iterative application
     /// (same pages written every interval) — so this counter is flat
     /// after warm-up (asserted in `allocation_free.rs`). The closing
-    /// vector-clock snapshot is accounted separately: every close still
-    /// allocates its `Arc<VectorClock>`, since record clocks are
-    /// pinned by the log for the whole run.
+    /// vector-clock snapshot is delta-shared the same way; see
+    /// [`close_vc_shares`](Self::close_vc_shares).
     pub interval_close_allocs: u64,
+    /// Interval closes whose vector-timestamp snapshot was
+    /// **delta-shared** against the processor's previous close: when no
+    /// *other* processor's entry changed between two closes (no
+    /// intervening acquire merged anything — the steady state of a
+    /// cached-lock loop), the new record reuses the previous record's
+    /// `Arc<VectorClock>` base and carries only its own new sequence
+    /// number, so the close allocates no clock at all. Closes that do
+    /// see a changed base pay one fresh `Arc<VectorClock>` clone.
+    pub close_vc_shares: u64,
     /// HLRC lazy flush
     /// ([`DsmConfig::hlrc_lazy_flush`](crate::DsmConfig::hlrc_lazy_flush)):
     /// interval closes that *deferred* their diff encode (the twin was
@@ -278,6 +286,11 @@ impl fmt::Display for ProtocolStats {
 pub struct RunReport {
     /// Protocol that produced the run.
     pub protocol: ProtocolKind,
+    /// Execution backend that drove the run. Simulator reports are
+    /// deterministic; threads-backend reports are honest accumulations
+    /// but schedule-dependent (see
+    /// [`ExecBackend`](crate::ExecBackend)).
+    pub backend: crate::ExecBackend,
     /// Number of processors.
     pub nprocs: usize,
     /// Per-processor finishing virtual times.

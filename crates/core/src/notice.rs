@@ -52,6 +52,97 @@ pub struct WriteNotice {
     pub kind: NoticeKind,
 }
 
+/// The vector timestamp at which an interval closed, **delta-shared**
+/// against the processor's previous close.
+///
+/// Between two consecutive closes of the same processor, the only entry
+/// of its working clock guaranteed to change is its *own* (the tick that
+/// names the new interval); the other entries move only when an acquire
+/// or barrier merges a remote clock in. `CloseVc` exploits that: it
+/// stores a shared `base` snapshot plus the closing interval's own
+/// `(proc, seq)`, whose entry *overrides* the base's. A close whose base
+/// is unchanged reuses the previous record's `Arc` — zero clock
+/// allocation — while every read (`get`, `covers`, `iter`) still sees
+/// the exact closing clock, entry for entry, that a full clone would
+/// have produced. The override is never approximate: the happened-before
+/// sort keys and domination tests built on these values are
+/// order-critical (a stale own entry would mis-sort diff application).
+#[derive(Clone, Debug)]
+pub struct CloseVc {
+    /// Shared snapshot; its entry for `own` is ignored (possibly stale).
+    base: Arc<VectorClock>,
+    /// The closing interval's own coordinates; `own`'s entry is exactly
+    /// `own_seq`.
+    own: adsm_vclock::ProcId,
+    own_seq: u32,
+}
+
+impl CloseVc {
+    /// A closing clock with a freshly allocated base (taken when the
+    /// base drifted — some other processor's entry changed since the
+    /// previous close).
+    pub(crate) fn fresh(base: VectorClock, own: adsm_vclock::ProcId, own_seq: u32) -> Self {
+        CloseVc {
+            base: Arc::new(base),
+            own,
+            own_seq,
+        }
+    }
+
+    /// A closing clock sharing `prev`'s base (valid only when every
+    /// non-own entry of the working clock equals the base; the caller
+    /// checks with [`CloseVc::base_matches`]).
+    pub(crate) fn shared(prev: &CloseVc, own_seq: u32) -> Self {
+        CloseVc {
+            base: Arc::clone(&prev.base),
+            own: prev.own,
+            own_seq,
+        }
+    }
+
+    /// Does this record's base agree with `current` on every entry but
+    /// `own`'s? (The delta-share admission test at interval close.)
+    pub(crate) fn base_matches(&self, current: &VectorClock) -> bool {
+        current
+            .iter()
+            .all(|(q, s)| q == self.own || self.base.get(q) == s)
+    }
+
+    /// Entry for processor `q` of the exact closing clock.
+    pub fn get(&self, q: adsm_vclock::ProcId) -> u32 {
+        if q == self.own {
+            self.own_seq
+        } else {
+            self.base.get(q)
+        }
+    }
+
+    /// Does the closing clock cover (dominate the creation of) `id`?
+    pub fn covers(&self, id: IntervalId) -> bool {
+        id.seq <= self.get(id.proc)
+    }
+
+    /// Entries of the exact closing clock, in processor order.
+    pub fn iter(&self) -> impl Iterator<Item = (adsm_vclock::ProcId, u32)> + '_ {
+        self.base
+            .iter()
+            .map(|(q, s)| (q, if q == self.own { self.own_seq } else { s }))
+    }
+
+    /// Wire size of the clock (same as a full clone: the override does
+    /// not change the entry count).
+    pub fn wire_size(&self) -> usize {
+        self.base.wire_size()
+    }
+
+    /// Do two records share one base allocation? (Test hook for the
+    /// delta-share accounting.)
+    #[cfg(test)]
+    pub fn shares_base_with(&self, other: &CloseVc) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
+    }
+}
+
 /// Record of one closed interval: its timestamp and the pages it wrote.
 ///
 /// The cluster-wide [`IntervalLog`](crate::world::IntervalLog) of these
@@ -67,8 +158,9 @@ pub struct WriteNotice {
 pub struct IntervalRecord {
     /// Identity of the interval.
     pub id: IntervalId,
-    /// Vector timestamp at which the interval closed.
-    pub vc: Arc<VectorClock>,
+    /// Vector timestamp at which the interval closed (delta-shared
+    /// against the previous close; see [`CloseVc`]).
+    pub vc: CloseVc,
     /// Pages written during the interval, each with its notice kind.
     /// Emptied (swapped for a shared empty slice) by diff garbage
     /// collection once every processor is provably up to date.
@@ -123,7 +215,7 @@ mod tests {
         vc.tick(ProcId::new(1));
         let rec = IntervalRecord {
             id: IntervalId::new(ProcId::new(1), 1),
-            vc: Arc::new(vc),
+            vc: CloseVc::fresh(vc, ProcId::new(1), 1),
             writes: vec![
                 WriteNotice {
                     page: PageId::new(0),
@@ -143,7 +235,7 @@ mod tests {
     fn shipping_a_record_shares_the_write_list() {
         let rec = IntervalRecord {
             id: IntervalId::new(ProcId::new(0), 1),
-            vc: Arc::new(VectorClock::new(2)),
+            vc: CloseVc::fresh(VectorClock::new(2), ProcId::new(0), 1),
             writes: vec![WriteNotice {
                 page: PageId::new(3),
                 kind: NoticeKind::NonOwner,
@@ -152,6 +244,34 @@ mod tests {
         };
         let shipped = rec.clone();
         assert!(Arc::ptr_eq(&rec.writes, &shipped.writes));
-        assert!(Arc::ptr_eq(&rec.vc, &shipped.vc));
+        assert!(rec.vc.shares_base_with(&shipped.vc));
+    }
+
+    #[test]
+    fn close_vc_overrides_its_own_entry_exactly() {
+        let me = ProcId::new(1);
+        let mut working = VectorClock::new(3);
+        working.set(ProcId::new(0), 4);
+        working.set(ProcId::new(2), 7);
+        // First close: seq 1, freshly allocated base.
+        let first = CloseVc::fresh(working.clone(), me, 1);
+        assert_eq!(first.get(me), 1);
+        assert_eq!(first.get(ProcId::new(0)), 4);
+        assert!(first.covers(IntervalId::new(me, 1)));
+        assert!(!first.covers(IntervalId::new(me, 2)));
+
+        // Second close with no foreign merges: share the base, bump own.
+        assert!(first.base_matches(&working));
+        let second = CloseVc::shared(&first, 2);
+        assert!(second.shares_base_with(&first));
+        assert_eq!(second.get(me), 2);
+        assert!(second.covers(IntervalId::new(me, 2)));
+        // iter() yields the effective (overridden) entries.
+        let entries: Vec<u32> = second.iter().map(|(_, s)| s).collect();
+        assert_eq!(entries, vec![4, 2, 7]);
+
+        // A foreign merge defeats the share admission test.
+        working.set(ProcId::new(2), 9);
+        assert!(!second.base_matches(&working));
     }
 }

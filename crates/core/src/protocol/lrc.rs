@@ -10,7 +10,7 @@ use adsm_vclock::{IntervalId, ProcId, VectorClock};
 use parking_lot::Mutex;
 
 use crate::metrics::ProtocolStats;
-use crate::notice::{IntervalRecord, NoticeKind, PendingNotice, WriteNotice};
+use crate::notice::{CloseVc, IntervalRecord, NoticeKind, PendingNotice, WriteNotice};
 use crate::protocol::policy::AdaptPolicy;
 use crate::world::{KeyedDiff, PageGlobal, PageMode, ProcCtl, World};
 use crate::{DsmConfig, ProtocolKind};
@@ -104,7 +104,6 @@ pub(crate) fn close_interval(
 
     let seq = w.procs[p.index()].vc.tick(p);
     let id = IntervalId::new(p, seq);
-    let closing_vc = w.procs[p.index()].vc.clone();
 
     // The write-notice list is built in a pooled buffer and, below,
     // only becomes a fresh heap allocation when it differs from the
@@ -295,7 +294,7 @@ pub(crate) fn close_interval(
         // Profiler: was this write concurrent with another processor's
         // latest write to the page?
         let others = w.profiler.other_writers(page, p);
-        let concurrent = others.iter().any(|iv| !closing_vc.covers(*iv));
+        let concurrent = others.iter().any(|iv| !w.procs[p.index()].vc.covers(*iv));
         w.profiler.note_write(page, p, id, concurrent);
     }
 
@@ -317,11 +316,23 @@ pub(crate) fn close_interval(
     dirty.clear();
     w.procs[p.index()].dirty = dirty;
 
+    // Delta-share the closing clock against the previous close: when no
+    // acquire merged a foreign entry since then (cached-lock loops, pure
+    // compute phases), the previous record's base `Arc` is reused and
+    // only the own (proc, seq) override differs — no clock allocation.
+    let close_vc = match w.log.last_record(p) {
+        Some(prev) if prev.vc.base_matches(&w.procs[p.index()].vc) => {
+            w.proto.close_vc_shares += 1;
+            CloseVc::shared(&prev.vc, seq)
+        }
+        _ => CloseVc::fresh(w.procs[p.index()].vc.clone(), p, seq),
+    };
+
     w.log.push(
         p,
         IntervalRecord {
             id,
-            vc: Arc::new(closing_vc),
+            vc: close_vc,
             writes: writes_arc,
         },
     );
@@ -746,12 +757,12 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         .max_by_key(|n| (n.kind.version().unwrap_or(0), n.interval.proc.index()))
         .copied();
 
-    let mut base_vc: Option<Arc<VectorClock>> = None;
+    let mut base_vc: Option<CloseVc> = None;
     let mut installed = false;
     if let Some(on) = owner_pending {
         let q = on.interval.proc;
         fetch_page_from(ctx, p, q, page);
-        base_vc = Some(Arc::clone(&ctx.w.interval(on.interval).vc));
+        base_vc = Some(ctx.w.interval(on.interval).vc.clone());
         installed = true;
     } else if !ctx.w.procs[pidx].pages[pgidx].has_copy {
         let source = initial_source(ctx.w, p, page);

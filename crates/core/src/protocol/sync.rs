@@ -388,8 +388,6 @@ mod tests {
     //! this record-set property is exactly what separates the two
     //! paths.
 
-    use std::sync::Arc;
-
     use adsm_mempage::PageId;
     use adsm_vclock::{IntervalId, ProcId, VectorClock};
     use proptest::prelude::*;
@@ -490,13 +488,12 @@ mod tests {
         for q in 0..h.nprocs {
             let qid = ProcId::new(q);
             for s in 1..=h.total[q] {
-                let mut vc = VectorClock::new(h.nprocs);
-                vc.set(qid, s);
+                let vc = VectorClock::new(h.nprocs);
                 w.log.push(
                     qid,
                     IntervalRecord {
                         id: IntervalId::new(qid, s),
-                        vc: Arc::new(vc),
+                        vc: crate::notice::CloseVc::fresh(vc, qid, s),
                         writes: h.writes[q][(s - 1) as usize].clone().into(),
                     },
                 );

@@ -232,6 +232,32 @@ impl DsmBuilder {
         self
     }
 
+    /// Selects the execution backend: the deterministic simulator
+    /// (default) or free-running OS threads
+    /// ([`ExecBackend::Threads`](crate::ExecBackend::Threads)), where
+    /// lock waits, page fetches and barrier arrivals park the calling
+    /// thread for real. The simulator remains the oracle — threads runs
+    /// are not reproducible and their virtual-time reports are
+    /// approximate; race-free programs must still compute identical
+    /// final memory. Rejected (at [`Dsm::run`]) in combination with
+    /// [`schedule_fuzz`](Self::schedule_fuzz).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ExecBackend, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Wfs)
+    ///     .nprocs(8)
+    ///     .backend(ExecBackend::Threads)
+    ///     .build();
+    /// assert_eq!(dsm.nprocs(), 8);
+    /// ```
+    pub fn backend(mut self, backend: crate::ExecBackend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Dsm {
         Dsm {
@@ -335,6 +361,13 @@ impl Dsm {
                 "adaptation policies apply to the adaptive protocols (WFS, WFS+WG) only".into(),
             ));
         }
+        if cfg.backend == crate::ExecBackend::Threads && cfg.schedule_fuzz.is_some() {
+            return Err(RunError::BadConfig(
+                "schedule fuzzing is a simulator-scheduler property; \
+                 the threads backend has no schedule to fuzz"
+                    .into(),
+            ));
+        }
         cfg.npages = page_count(self.cursor).max(1);
         let nprocs = cfg.nprocs;
         let npages = cfg.npages;
@@ -346,9 +379,14 @@ impl Dsm {
                 .map(|_| Mutex::new(PagedMemory::new(npages)))
                 .collect(),
         );
-        let engine = match world.lock().cfg.schedule_fuzz {
-            Some(seed) => Engine::with_fuzz_seed(nprocs, seed),
-            None => Engine::new(nprocs),
+        let (backend, fuzz) = {
+            let w = world.lock();
+            (w.cfg.backend, w.cfg.schedule_fuzz)
+        };
+        let engine = match (backend, fuzz) {
+            (crate::ExecBackend::Threads, _) => Engine::threaded(nprocs),
+            (crate::ExecBackend::Sim, Some(seed)) => Engine::with_fuzz_seed(nprocs, seed),
+            (crate::ExecBackend::Sim, None) => Engine::new(nprocs),
         };
         let app = Arc::new(app);
 
@@ -422,6 +460,7 @@ impl Dsm {
         let sw_page_map = w.sw_page_map();
         let report = RunReport {
             protocol,
+            backend,
             nprocs,
             time,
             proc_times,
@@ -545,5 +584,14 @@ impl RunOutcome {
     pub fn read_elem<T: Pod>(&self, v: &SharedVec<T>, i: usize) -> T {
         let addr = v.addr(i);
         T::load_le(&self.image[addr..addr + T::SIZE])
+    }
+
+    /// The whole final coherent memory image (every page, merged
+    /// through the protocol's own validation path). This is the
+    /// schedule-independent result of a data-race-free program — the
+    /// cross-backend oracle tests digest it to pin the threads backend
+    /// against the simulator.
+    pub fn image(&self) -> &[u8] {
+        &self.image
     }
 }

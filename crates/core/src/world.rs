@@ -563,8 +563,9 @@ impl World {
         self.log.record(id)
     }
 
-    /// Vector clock of a closed interval.
-    pub fn vc_of(&self, id: IntervalId) -> &VectorClock {
+    /// Closing clock of a closed interval (delta-shared; see
+    /// [`CloseVc`](crate::notice::CloseVc)).
+    pub fn vc_of(&self, id: IntervalId) -> &crate::notice::CloseVc {
         &self.interval(id).vc
     }
 

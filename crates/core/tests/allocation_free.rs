@@ -263,6 +263,48 @@ fn steady_state_interval_closes_allocate_no_notice_lists() {
     );
 }
 
+/// Closing clocks are delta-shared against the previous close: when no
+/// foreign clock entry changed between two closes of the same
+/// processor, the later record reuses the earlier one's base `Arc`
+/// instead of cloning the whole working clock. A sole writer among
+/// passive peers is the canonical case — the peers contribute no
+/// intervals, so every barrier's merged global clock leaves the
+/// writer's foreign entries untouched and every close after the first
+/// shares: `close_vc_shares` is exactly `iters - 1`. The symmetric
+/// kernels above advance every entry every interval and share nothing.
+#[test]
+fn sole_writer_closes_share_their_clock_base() {
+    fn run_sole_writer(iters: usize) -> RunReport {
+        let mut dsm = Dsm::builder(ProtocolKind::Wfs).nprocs(2).build();
+        let data = dsm.alloc_page_aligned::<u64>(1024);
+        let outcome = dsm
+            .run(move |p| {
+                for i in 0..iters {
+                    if p.index() == 0 {
+                        data.set(p, 0, i as u64);
+                    }
+                    p.compute(SimTime::from_us(10));
+                    p.barrier();
+                }
+            })
+            .expect("sole-writer run completes");
+        outcome.report
+    }
+    let short = run_sole_writer(4);
+    let long = run_sole_writer(12);
+    assert_eq!(
+        short.proto.close_vc_shares, 3,
+        "every close after the first must share its predecessor's base"
+    );
+    assert_eq!(long.proto.close_vc_shares, 11);
+    // And sharing is allocation-neutral on the notice side too: the
+    // writer closes the same write set every interval.
+    assert_eq!(
+        long.proto.interval_close_allocs,
+        short.proto.interval_close_allocs
+    );
+}
+
 /// HLRC lazy flushing in steady state: with no demand on the home's
 /// copy, deferred closes never encode — `lazy_flush_encodes` is pinned
 /// at **zero** however many intervals close (the hits keep counting

@@ -21,6 +21,21 @@
 //! (compute charges) and by the protocol layer (message latencies, twin
 //! and diff costs). Wall-clock time never influences the simulation.
 //!
+//! # Backends
+//!
+//! The model above is the **simulator** backend ([`Engine::new`] /
+//! [`Engine::with_fuzz_seed`]): deterministic, serialised at turn
+//! points, the repository's measurement oracle. [`Engine::threaded`]
+//! selects the **threads** backend, which drops the serialisation: every
+//! task runs freely on its own OS thread, turn points are a single
+//! atomic clock commit, and blocking parks the thread until a permit
+//! from [`Task::unblock`] arrives. Virtual clocks and wake-up latencies
+//! are still honoured, but the interleaving is the host scheduler's, so
+//! runs are *not* reproducible — the simulator stays the oracle, the
+//! threads backend is for host-parallel throughput (see the `threads`
+//! module documentation for the blocking and deadlock-detection
+//! details).
+//!
 //! # Examples
 //!
 //! ```
@@ -52,6 +67,7 @@
 //! ```
 
 mod sched;
+mod threads;
 
 #[doc(hidden)]
 pub use sched::sched_pick_rounds;

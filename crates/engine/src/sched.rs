@@ -138,6 +138,14 @@ struct Inner {
     cv: Condvar,
 }
 
+/// The execution backend behind an [`Engine`]: the deterministic
+/// turn-based simulator, or free-running OS threads.
+#[derive(Clone)]
+enum Backend {
+    Sim(Arc<Inner>),
+    Threads(Arc<crate::threads::Inner>),
+}
+
 /// The shared scheduler for a cluster of simulated processors.
 ///
 /// Create one engine per run, obtain one [`Task`] per processor with
@@ -145,7 +153,7 @@ struct Inner {
 /// crate-level documentation for the execution model.
 #[derive(Clone)]
 pub struct Engine {
-    inner: Arc<Inner>,
+    backend: Backend,
     ntasks: usize,
 }
 
@@ -183,10 +191,30 @@ impl Engine {
         Self::build(ntasks, Some(seed))
     }
 
+    /// Creates a **threads-backend** engine: every task runs freely on
+    /// its own OS thread. Virtual clocks are still maintained (atomic
+    /// per-task counters) and blocking still parks the thread until a
+    /// matching [`Task::unblock`], but turn points no longer serialise
+    /// execution and the schedule is whatever the OS delivers —
+    /// measurements are host-parallel, reproducibility is gone. The
+    /// simulator backends above remain the oracle; see the
+    /// `threads` module documentation for the parking protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ntasks` is zero.
+    pub fn threaded(ntasks: usize) -> Self {
+        assert!(ntasks > 0, "an engine needs at least one task");
+        Engine {
+            backend: Backend::Threads(Arc::new(crate::threads::Inner::new(ntasks))),
+            ntasks,
+        }
+    }
+
     fn build(ntasks: usize, fuzz: Option<u64>) -> Self {
         assert!(ntasks > 0, "an engine needs at least one task");
         Engine {
-            inner: Arc::new(Inner {
+            backend: Backend::Sim(Arc::new(Inner {
                 sched: Mutex::new(Sched {
                     clocks: vec![0; ntasks],
                     status: vec![Status::Ready; ntasks],
@@ -195,7 +223,7 @@ impl Engine {
                     fuzz,
                 }),
                 cv: Condvar::new(),
-            }),
+            })),
             ntasks,
         }
     }
@@ -203,6 +231,12 @@ impl Engine {
     /// Number of tasks in this engine.
     pub fn ntasks(&self) -> usize {
         self.ntasks
+    }
+
+    /// Is this the free-running threads backend (as opposed to the
+    /// deterministic simulator)?
+    pub fn is_threaded(&self) -> bool {
+        matches!(self.backend, Backend::Threads(_))
     }
 
     /// Creates the handle for task `id`. Each id must be driven by
@@ -214,7 +248,7 @@ impl Engine {
     pub fn task(&self, id: TaskId) -> Task {
         assert!(id < self.ntasks, "task id {id} out of range");
         Task {
-            inner: self.inner.clone(),
+            backend: self.backend.clone(),
             id,
             local: 0,
         }
@@ -223,32 +257,46 @@ impl Engine {
     /// Committed virtual clock of a task (meaningful once the task has
     /// finished or is parked at a turn point).
     pub fn clock(&self, id: TaskId) -> SimTime {
-        SimTime::from_ns(self.inner.sched.lock().clocks[id])
+        match &self.backend {
+            Backend::Sim(inner) => SimTime::from_ns(inner.sched.lock().clocks[id]),
+            Backend::Threads(t) => SimTime::from_ns(t.clock_ns(id)),
+        }
     }
 
     /// Committed clocks of all tasks.
     pub fn clocks(&self) -> Vec<SimTime> {
-        self.inner
-            .sched
-            .lock()
-            .clocks
-            .iter()
-            .map(|&c| SimTime::from_ns(c))
-            .collect()
+        match &self.backend {
+            Backend::Sim(inner) => inner
+                .sched
+                .lock()
+                .clocks
+                .iter()
+                .map(|&c| SimTime::from_ns(c))
+                .collect(),
+            Backend::Threads(t) => t.clocks(),
+        }
     }
 
     /// Poisons the engine: every parked or blocked task will panic with
     /// [`EngineError::Poisoned`]. Called when a task thread panics so the
     /// rest of the cluster does not hang.
     pub fn poison(&self) {
-        let mut s = self.inner.sched.lock();
-        s.poisoned = true;
-        self.inner.cv.notify_all();
+        match &self.backend {
+            Backend::Sim(inner) => {
+                let mut s = inner.sched.lock();
+                s.poisoned = true;
+                inner.cv.notify_all();
+            }
+            Backend::Threads(t) => t.poison(),
+        }
     }
 
     /// Has the engine been poisoned (deadlock or task panic)?
     pub fn is_poisoned(&self) -> bool {
-        self.inner.sched.lock().poisoned
+        match &self.backend {
+            Backend::Sim(inner) => inner.sched.lock().poisoned,
+            Backend::Threads(t) => t.is_poisoned(),
+        }
     }
 }
 
@@ -259,7 +307,7 @@ impl Engine {
 /// virtual clock with [`Task::advance`] and offers turn points with
 /// [`Task::yield_turn`].
 pub struct Task {
-    inner: Arc<Inner>,
+    backend: Backend,
     id: TaskId,
     /// Locally accumulated (uncommitted) virtual time.
     local: u64,
@@ -290,9 +338,10 @@ impl Task {
     /// Raises this task's clock to at least `t` (used when an operation
     /// completes at an absolute virtual time, e.g. a message arrival).
     pub fn advance_to(&mut self, t: SimTime) {
-        let s = self.inner.sched.lock();
-        let committed = s.clocks[self.id];
-        drop(s);
+        let committed = match &self.backend {
+            Backend::Sim(inner) => inner.sched.lock().clocks[self.id],
+            Backend::Threads(th) => th.clock_ns(self.id),
+        };
         let target = t.as_ns();
         if committed + self.local < target {
             self.local = target - committed;
@@ -301,26 +350,35 @@ impl Task {
 
     /// Current virtual clock (committed + local).
     pub fn clock(&self) -> SimTime {
-        let s = self.inner.sched.lock();
-        SimTime::from_ns(s.clocks[self.id] + self.local)
+        let committed = match &self.backend {
+            Backend::Sim(inner) => inner.sched.lock().clocks[self.id],
+            Backend::Threads(th) => th.clock_ns(self.id),
+        };
+        SimTime::from_ns(committed + self.local)
     }
 
     /// First turn acquisition; blocks until this task is scheduled.
+    /// (Threads backend: an immediate poison check — there is no turn
+    /// to wait for.)
     ///
     /// # Panics
     ///
     /// Panics with [`EngineError`] if the engine is poisoned.
     pub fn begin(&mut self) {
-        let mut s = self.inner.sched.lock();
+        let inner = match &self.backend {
+            Backend::Sim(inner) => inner,
+            Backend::Threads(th) => return th.check_health(),
+        };
+        let mut s = inner.sched.lock();
         // If nothing is active yet, elect a first task.
         if !s.status.contains(&Status::Active) {
             s.pick_next();
         }
         while s.status[self.id] != Status::Active {
-            self.check_poison(&s);
-            self.inner.cv.wait(&mut s);
+            Self::check_poison(&s);
+            inner.cv.wait(&mut s);
         }
-        self.check_poison(&s);
+        Self::check_poison(&s);
     }
 
     /// Turn point: commits local time and, if another runnable task has a
@@ -332,7 +390,18 @@ impl Task {
     /// Panics with [`EngineError`] if the engine is poisoned while
     /// waiting.
     pub fn yield_turn(&mut self) {
-        let mut s = self.inner.sched.lock();
+        let inner = match &self.backend {
+            Backend::Sim(inner) => inner,
+            Backend::Threads(th) => {
+                // Threads mode: a turn point only commits local time (one
+                // atomic add) and checks for poison — no handover, the
+                // thread keeps running.
+                th.commit(self.id, self.local);
+                self.local = 0;
+                return th.check_health();
+            }
+        };
+        let mut s = inner.sched.lock();
         debug_assert_eq!(s.status[self.id], Status::Active, "yield outside turn");
         s.clocks[self.id] += self.local;
         self.local = 0;
@@ -346,13 +415,13 @@ impl Task {
         if reschedule {
             s.set_status(self.id, Status::Ready);
             s.pick_next();
-            self.inner.cv.notify_all();
+            inner.cv.notify_all();
             while s.status[self.id] != Status::Active {
-                self.check_poison(&s);
-                self.inner.cv.wait(&mut s);
+                Self::check_poison(&s);
+                inner.cv.wait(&mut s);
             }
         }
-        self.check_poison(&s);
+        Self::check_poison(&s);
     }
 
     /// Blocks this task until another task calls [`Task::unblock`] for
@@ -364,33 +433,51 @@ impl Task {
     /// runnable task, or with [`EngineError::Poisoned`] if the engine is
     /// poisoned while blocked.
     pub fn block(&mut self) {
-        let mut s = self.inner.sched.lock();
+        let inner = match &self.backend {
+            Backend::Sim(inner) => inner,
+            Backend::Threads(th) => {
+                th.commit(self.id, self.local);
+                self.local = 0;
+                return th.block(self.id);
+            }
+        };
+        let mut s = inner.sched.lock();
         debug_assert_eq!(s.status[self.id], Status::Active, "block outside turn");
         s.clocks[self.id] += self.local;
         self.local = 0;
         s.set_status(self.id, Status::Blocked);
         if !s.pick_next() {
             // Nothing runnable: deadlock. Poison so every waiter wakes.
-            self.inner.cv.notify_all();
+            inner.cv.notify_all();
             panic!("{}", EngineError::Deadlock);
         }
-        self.inner.cv.notify_all();
+        inner.cv.notify_all();
         while s.status[self.id] != Status::Active {
-            self.check_poison(&s);
-            self.inner.cv.wait(&mut s);
+            Self::check_poison(&s);
+            inner.cv.wait(&mut s);
         }
-        self.check_poison(&s);
+        Self::check_poison(&s);
     }
 
     /// Makes a blocked task runnable again, with its clock raised to at
-    /// least `wake_at`. May only be called by the active task (i.e.
-    /// during a turn). The unblocked task runs when its clock is minimal.
+    /// least `wake_at`. Simulator backends: may only be called by the
+    /// active task (i.e. during a turn), and the unblocked task runs
+    /// when its clock is minimal. Threads backend: deposits the target's
+    /// wake permit — the call may legitimately race ahead of the
+    /// target's own [`Task::block`], which then consumes the permit
+    /// without parking.
     ///
     /// # Panics
     ///
-    /// Panics if `other` is not blocked.
+    /// Panics if `other` is not blocked (simulator backends only; the
+    /// threads backend cannot distinguish not-yet-blocked from
+    /// never-blocking).
     pub fn unblock(&self, other: TaskId, wake_at: SimTime) {
-        let mut s = self.inner.sched.lock();
+        let inner = match &self.backend {
+            Backend::Sim(inner) => inner,
+            Backend::Threads(th) => return th.unblock(other, wake_at.as_ns()),
+        };
+        let mut s = inner.sched.lock();
         assert_eq!(
             s.status[other],
             Status::Blocked,
@@ -404,34 +491,56 @@ impl Task {
     /// service interrupt consumed its CPU). No effect on Done tasks'
     /// scheduling.
     pub fn raise_clock(&self, other: TaskId, t: SimTime) {
-        let mut s = self.inner.sched.lock();
-        s.clocks[other] = s.clocks[other].max(t.as_ns());
+        match &self.backend {
+            Backend::Sim(inner) => {
+                let mut s = inner.sched.lock();
+                s.clocks[other] = s.clocks[other].max(t.as_ns());
+            }
+            Backend::Threads(th) => th.raise(other, t.as_ns()),
+        }
     }
 
     /// Adds `dt` to another task's committed clock.
     pub fn bump_clock(&self, other: TaskId, dt: SimTime) {
-        let mut s = self.inner.sched.lock();
-        s.clocks[other] += dt.as_ns();
+        match &self.backend {
+            Backend::Sim(inner) => {
+                let mut s = inner.sched.lock();
+                s.clocks[other] += dt.as_ns();
+            }
+            Backend::Threads(th) => th.commit(other, dt.as_ns()),
+        }
     }
 
     /// Committed clock of any task (for protocol decisions such as
-    /// ownership quanta).
+    /// ownership quanta). Threads backend: a racy snapshot — another
+    /// task may be holding uncommitted local time.
     pub fn clock_of(&self, other: TaskId) -> SimTime {
-        SimTime::from_ns(self.inner.sched.lock().clocks[other])
+        match &self.backend {
+            Backend::Sim(inner) => SimTime::from_ns(inner.sched.lock().clocks[other]),
+            Backend::Threads(th) => SimTime::from_ns(th.clock_ns(other)),
+        }
     }
 
     /// Marks this task finished and schedules the next one.
     pub fn finish(&mut self) {
-        let mut s = self.inner.sched.lock();
+        let inner = match &self.backend {
+            Backend::Sim(inner) => inner,
+            Backend::Threads(th) => {
+                th.commit(self.id, self.local);
+                self.local = 0;
+                return th.finish(self.id);
+            }
+        };
+        let mut s = inner.sched.lock();
         debug_assert_eq!(s.status[self.id], Status::Active, "finish outside turn");
         s.clocks[self.id] += self.local;
         self.local = 0;
         s.set_status(self.id, Status::Done);
         s.pick_next();
-        self.inner.cv.notify_all();
+        inner.cv.notify_all();
     }
 
-    fn check_poison(&self, s: &Sched) {
+    fn check_poison(s: &Sched) {
         if s.poisoned {
             panic!("{}", EngineError::Poisoned);
         }
@@ -750,6 +859,152 @@ mod tests {
     #[should_panic(expected = "at least one task")]
     fn zero_tasks_rejected() {
         let _ = Engine::new(0);
+    }
+
+    #[test]
+    fn threaded_tasks_run_in_parallel_and_commit_time() {
+        let engine = Engine::threaded(4);
+        assert!(engine.is_threaded());
+        run_on(&engine, |t| {
+            for _ in 0..50 {
+                t.advance(SimTime::from_us(2));
+                t.yield_turn();
+            }
+        })
+        .unwrap();
+        for id in 0..4 {
+            assert_eq!(engine.clock(id), SimTime::from_us(100));
+        }
+    }
+
+    #[test]
+    fn threaded_block_and_unblock() {
+        let engine = Engine::threaded(2);
+        run_on(&engine, |t| {
+            if t.id() == 1 {
+                t.block();
+                assert!(t.clock() >= SimTime::from_us(500));
+            } else {
+                t.advance(SimTime::from_us(100));
+                t.yield_turn();
+                t.unblock(1, SimTime::from_us(500));
+            }
+        })
+        .unwrap();
+        assert!(engine.clock(1) >= SimTime::from_us(500));
+    }
+
+    #[test]
+    fn threaded_unblock_may_race_ahead_of_block() {
+        // The permit handshake: the unblocker fires immediately, often
+        // before the target even reaches block(). No round may hang or
+        // lose the wakeup.
+        let engine = Engine::threaded(2);
+        run_on(&engine, |t| {
+            for round in 0..500u64 {
+                if t.id() == 1 {
+                    t.block();
+                } else {
+                    t.unblock(1, SimTime::from_ns(round));
+                    // Permits are binary: two deposits before a consume
+                    // coalesce, stranding the later block — which the
+                    // deadlock detector must then catch at finish (in
+                    // real use the world lock serialises enqueue/grant
+                    // pairs, so a waiter is never granted twice). Either
+                    // a clean run or a detected unwind is correct here;
+                    // only a hang is a failure.
+                    if round % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        })
+        .unwrap_err_or_ok();
+    }
+
+    #[test]
+    fn threaded_deadlock_is_detected() {
+        let engine = Engine::threaded(2);
+        let err = run_on(&engine, |t| {
+            t.block(); // nobody will ever unblock anyone
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("blocked") || err.contains("poisoned"),
+            "unexpected panic message: {err}"
+        );
+    }
+
+    #[test]
+    fn threaded_finish_with_parked_peer_poisons() {
+        // Task 0 finishes; task 1 is parked forever: the cluster must
+        // unwind rather than hang (simulator parity: finish's failed
+        // pick poisons the blocked waiters).
+        let engine = Engine::threaded(2);
+        let err = run_on(&engine, |t| {
+            if t.id() == 1 {
+                t.block();
+            }
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("blocked") || err.contains("poisoned"),
+            "unexpected panic message: {err}"
+        );
+    }
+
+    #[test]
+    fn threaded_cross_clock_charges_are_not_lost() {
+        // Every task bumps every other task's clock concurrently;
+        // fetch_add must not lose updates.
+        let engine = Engine::threaded(4);
+        run_on(&engine, |t| {
+            for _ in 0..1_000 {
+                for other in 0..4 {
+                    if other != t.id() {
+                        t.bump_clock(other, SimTime::from_ns(1));
+                    }
+                }
+            }
+        })
+        .unwrap();
+        for id in 0..4 {
+            assert_eq!(engine.clock(id), SimTime::from_ns(3_000));
+        }
+    }
+
+    #[test]
+    fn threaded_poison_unwinds_parked_tasks() {
+        let engine = Engine::threaded(2);
+        let err = run_on(&engine, |t| {
+            if t.id() == 1 {
+                t.block(); // parked forever; must be woken by the poison
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                panic!("app failure");
+            }
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("app failure") || err.contains("poisoned"),
+            "unexpected panic message: {err}"
+        );
+    }
+
+    /// Helper for tests whose outcome may be either clean or a benign
+    /// engine unwind (racy handshakes without an ack channel).
+    trait ErrOrOk {
+        fn unwrap_err_or_ok(self);
+    }
+    impl ErrOrOk for Result<(), String> {
+        fn unwrap_err_or_ok(self) {
+            if let Err(e) = self {
+                assert!(
+                    e.contains("blocked") || e.contains("poisoned"),
+                    "unexpected panic message: {e}"
+                );
+            }
+        }
     }
 
     #[test]

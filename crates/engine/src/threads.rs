@@ -1,0 +1,192 @@
+//! The **threads** execution backend: every task runs on its own OS
+//! thread with *real* parallelism — no turn points, no global pick loop.
+//!
+//! Virtual clocks survive (protocol costs are still charged, and
+//! wake-up times still honour message latencies) but they no longer
+//! order execution: per-task clocks are plain atomics, a turn point is
+//! a `fetch_add`, and cross-task charges are `fetch_add`/`fetch_max`.
+//! Blocking is a binary **permit** per task: `unblock` deposits the
+//! permit and wakes the target; `block` consumes it, parking the thread
+//! (via the `parking_lot` shim's condvar) only when no permit is
+//! pending. Because a waiter enqueues itself under the world lock but
+//! parks *after* releasing it, the matching unblock can race ahead of
+//! the park — the permit makes that harmless, where the simulator
+//! backend could simply assert the target was already blocked.
+//!
+//! Deadlock is detected positionally, as in the simulator: whenever a
+//! task parks or finishes and every unfinished task is parked without a
+//! permit, nothing can ever wake — the detecting task poisons the
+//! cluster and panics [`EngineError::Deadlock`]. (Threads sleeping on a
+//! shim mutex are invisible to this detector; the engine only sees its
+//! own `block`/`unblock` protocol, which is where application-level
+//! deadlocks — lost unlocks, missing barrier arrivals — surface.)
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use adsm_netsim::SimTime;
+use parking_lot::{Condvar, Mutex};
+
+use crate::sched::EngineError;
+
+/// No failure; tasks run freely.
+const HEALTHY: u8 = 0;
+/// A task panicked elsewhere; parked and yielding tasks must unwind.
+const POISONED: u8 = 1;
+/// Every unfinished task was parked without a permit.
+const DEADLOCKED: u8 = 2;
+
+/// Per-task parking state, all under one small mutex (the engine's
+/// block/unblock traffic is orders of magnitude rarer than turn points,
+/// which never touch it).
+struct Slots {
+    /// Deposited wakeups not yet consumed by a `block`.
+    permits: Vec<bool>,
+    /// Task is inside `block`, asleep or about to be.
+    parked: Vec<bool>,
+    /// Task returned from its program.
+    done: Vec<bool>,
+}
+
+impl Slots {
+    /// True when no task can ever make progress again: every unfinished
+    /// task is parked with no permit pending.
+    fn deadlocked(&self) -> bool {
+        let mut unfinished = 0usize;
+        for i in 0..self.done.len() {
+            if self.done[i] {
+                continue;
+            }
+            unfinished += 1;
+            if !self.parked[i] || self.permits[i] {
+                return false;
+            }
+        }
+        unfinished > 0
+    }
+}
+
+pub(crate) struct Inner {
+    clocks: Vec<AtomicU64>,
+    /// [`HEALTHY`], [`POISONED`] or [`DEADLOCKED`]; checked lock-free on
+    /// the turn-point fast path so a panicking task stops the cluster
+    /// promptly, exactly like the simulator's per-turn poison check.
+    health: AtomicU8,
+    slots: Mutex<Slots>,
+    /// One wake channel per task; `notify_all` because the shim's
+    /// parker is collision-broadcast anyway.
+    cvs: Vec<Condvar>,
+}
+
+impl Inner {
+    pub(crate) fn new(ntasks: usize) -> Self {
+        Inner {
+            clocks: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            health: AtomicU8::new(HEALTHY),
+            slots: Mutex::new(Slots {
+                permits: vec![false; ntasks],
+                parked: vec![false; ntasks],
+                done: vec![false; ntasks],
+            }),
+            cvs: (0..ntasks).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    pub(crate) fn clock_ns(&self, id: usize) -> u64 {
+        self.clocks[id].load(Ordering::Acquire)
+    }
+
+    /// Commits `dt` of local virtual time (the threads-mode turn point:
+    /// one atomic add, no parking, no scheduling).
+    pub(crate) fn commit(&self, id: usize, dt: u64) {
+        if dt > 0 {
+            self.clocks[id].fetch_add(dt, Ordering::AcqRel);
+        }
+    }
+
+    /// Raises `id`'s committed clock to at least `t` ns.
+    pub(crate) fn raise(&self, id: usize, t: u64) {
+        self.clocks[id].fetch_max(t, Ordering::AcqRel);
+    }
+
+    /// The panic half of the turn-point poison check.
+    pub(crate) fn check_health(&self) {
+        match self.health.load(Ordering::Acquire) {
+            HEALTHY => {}
+            DEADLOCKED => panic!("{}", EngineError::Deadlock),
+            _ => panic!("{}", EngineError::Poisoned),
+        }
+    }
+
+    /// Parks the calling task until a permit arrives (consuming it).
+    /// Panics [`EngineError::Deadlock`] if parking leaves the cluster
+    /// unable to progress, [`EngineError::Poisoned`] if poisoned while
+    /// parked.
+    pub(crate) fn block(&self, id: usize) {
+        let mut s = self.slots.lock();
+        self.check_health();
+        if s.permits[id] {
+            // The wakeup raced ahead of the park: consume and continue.
+            s.permits[id] = false;
+            return;
+        }
+        s.parked[id] = true;
+        if s.deadlocked() {
+            s.parked[id] = false;
+            self.health.store(DEADLOCKED, Ordering::Release);
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            panic!("{}", EngineError::Deadlock);
+        }
+        while !s.permits[id] && self.health.load(Ordering::Acquire) == HEALTHY {
+            self.cvs[id].wait(&mut s);
+        }
+        s.parked[id] = false;
+        self.check_health();
+        s.permits[id] = false;
+    }
+
+    /// Deposits `other`'s permit (waking it if parked) with its clock
+    /// raised to at least `wake_at` ns.
+    pub(crate) fn unblock(&self, other: usize, wake_at: u64) {
+        self.raise(other, wake_at);
+        let mut s = self.slots.lock();
+        s.permits[other] = true;
+        drop(s);
+        self.cvs[other].notify_all();
+    }
+
+    /// Marks `id` finished. If that strands every remaining task parked
+    /// and permitless, the cluster is poisoned so the sleepers unwind —
+    /// the same observable outcome as the simulator, where `finish`'s
+    /// failed pick poisons and the blocked tasks panic on wake.
+    pub(crate) fn finish(&self, id: usize) {
+        let mut s = self.slots.lock();
+        s.done[id] = true;
+        if s.deadlocked() {
+            self.health.store(POISONED, Ordering::Release);
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+        }
+    }
+
+    pub(crate) fn poison(&self) {
+        self.health.store(POISONED, Ordering::Release);
+        let _s = self.slots.lock();
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.health.load(Ordering::Acquire) != HEALTHY
+    }
+
+    pub(crate) fn clocks(&self) -> Vec<SimTime> {
+        self.clocks
+            .iter()
+            .map(|c| SimTime::from_ns(c.load(Ordering::Acquire)))
+            .collect()
+    }
+}

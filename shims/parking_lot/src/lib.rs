@@ -2,60 +2,226 @@
 //!
 //! The build environment has no access to a crates.io registry, so this
 //! workspace-local shim provides the (small) slice of the parking_lot API
-//! the simulator uses — `Mutex`, `MutexGuard`, `Condvar`, `RwLock` — on
-//! top of `std::sync`. Semantics match parking_lot where they differ from
-//! std: locks are not poisoned by panics (a panicking simulated processor
-//! must not wedge the others; the engine has its own poison protocol).
+//! the simulator uses — `Mutex`, `MutexGuard`, `Condvar`, `RwLock` — with
+//! a parking-lot-style implementation: a one-byte atomic lock word with
+//! an inlinable compare-and-swap fast path, and a global table of
+//! address-hashed **parker buckets** that contended lockers and condvar
+//! waiters sleep in. The threads execution backend leans on this —
+//! a proc blocked on the world mutex or a protocol wait parks its OS
+//! thread here instead of spinning.
+//!
+//! Semantics match parking_lot where they differ from std: locks are not
+//! poisoned by panics (a panicking simulated processor must not wedge
+//! the others; the engine has its own poison protocol), the `Mutex` is
+//! a single byte, and `Condvar::wait` borrows the guard mutably instead
+//! of consuming it.
 
+use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{self, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+mod park {
+    //! The parker: a static table of buckets, each a `std::sync`
+    //! mutex/condvar pair, indexed by the address of the primitive a
+    //! thread sleeps on. Hash collisions are benign — wakeups are
+    //! broadcast per bucket and every sleeper rechecks its own predicate
+    //! under the bucket lock, so a collision costs a spurious recheck,
+    //! never a lost wakeup.
+
+    use std::sync::{Condvar, Mutex};
+    use std::time::Instant;
+
+    struct Bucket {
+        lock: Mutex<()>,
+        cv: Condvar,
+    }
+
+    const NBUCKETS: usize = 64;
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY_BUCKET: Bucket = Bucket {
+        lock: Mutex::new(()),
+        cv: Condvar::new(),
+    };
+    static BUCKETS: [Bucket; NBUCKETS] = [EMPTY_BUCKET; NBUCKETS];
+
+    fn bucket(addr: usize) -> &'static Bucket {
+        // Fibonacci hashing on the address; primitives are word-aligned
+        // so the low bits carry no entropy.
+        &BUCKETS[(addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) % NBUCKETS]
+    }
+
+    /// Parks the calling thread on `addr` while `keep_parked` holds.
+    /// The predicate is evaluated under the bucket lock, which every
+    /// unparker also takes before notifying: a wakeup published before
+    /// the final predicate check is therefore always observed.
+    pub(crate) fn park(addr: usize, mut keep_parked: impl FnMut() -> bool) {
+        let b = bucket(addr);
+        let mut guard = b.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while keep_parked() {
+            guard = b.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// As [`park`], giving up at `deadline`. Returns `true` if the wait
+    /// timed out with the predicate still holding.
+    pub(crate) fn park_until(
+        addr: usize,
+        deadline: Instant,
+        mut keep_parked: impl FnMut() -> bool,
+    ) -> bool {
+        let b = bucket(addr);
+        let mut guard = b.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while keep_parked() {
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            let (g, _) =
+                b.cv.wait_timeout(guard, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        false
+    }
+
+    /// Wakes every thread parked on `addr`'s bucket. Broadcast (rather
+    /// than single-wakeup) on purpose: the bucket is shared by hashing,
+    /// so waking one thread could pick a collision victim and strand
+    /// the intended target.
+    pub(crate) fn unpark_all(addr: usize) {
+        let b = bucket(addr);
+        // Taking the bucket lock orders this notify after any in-flight
+        // predicate check, closing the check-then-sleep window.
+        let _guard = b.lock.lock().unwrap_or_else(|e| e.into_inner());
+        b.cv.notify_all();
+    }
+}
+
+/// Lock word states of [`Mutex`].
+const FREE: u8 = 0;
+const LOCKED: u8 = 1;
+/// Locked with (possible) sleepers: the unlocker must visit the parker.
+const CONTENDED: u8 = 2;
 
 /// A mutual-exclusion primitive (no poisoning, like `parking_lot`).
-#[derive(Default)]
+///
+/// One byte of state next to the data: an uncontended lock/unlock is a
+/// single compare-and-swap each way; contended paths spin briefly and
+/// then park the thread in the global bucket table.
 pub struct Mutex<T: ?Sized> {
-    inner: sync::Mutex<T>,
+    state: AtomicU8,
+    data: UnsafeCell<T>,
+}
+
+// Same bounds as std's Mutex: the data moves between threads under the
+// lock word's acquire/release pair.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+// Like std's Mutex (and the real parking_lot): a panic while holding the
+// lock cannot leave the lock *word* in a broken state, so observing the
+// data after a caught unwind is no less safe than for any &mut-reachable
+// value. There is no poisoning; logical tearing is the caller's concern.
+impl<T: ?Sized> std::panic::UnwindSafe for Mutex<T> {}
+impl<T: ?Sized> std::panic::RefUnwindSafe for Mutex<T> {}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
 }
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
-    pub fn new(value: T) -> Self {
+    pub const fn new(value: T) -> Self {
         Mutex {
-            inner: sync::Mutex::new(value),
+            state: AtomicU8::new(FREE),
+            data: UnsafeCell::new(value),
         }
     }
 
     /// Consumes the mutex, returning the data.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the mutex, blocking until it is available.
+    /// Acquires the mutex, blocking (parking the thread) until it is
+    /// available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        if self
+            .state
+            .compare_exchange_weak(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_slow();
+        }
+        MutexGuard { lock: self }
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        // A short spin rides out the frequent case of a holder already
+        // on its way out, avoiding the parker round-trip.
+        for _ in 0..40 {
+            if self.state.load(Ordering::Relaxed) == FREE
+                && self
+                    .state
+                    .compare_exchange_weak(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let addr = self as *const _ as *const () as usize;
+        loop {
+            // Take the lock in one swap, claiming it CONTENDED: if other
+            // sleepers exist we cannot tell, so the eventual unlock must
+            // visit the parker (a spurious visit is cheap, a skipped one
+            // strands a sleeper).
+            let prev = self.state.swap(CONTENDED, Ordering::Acquire);
+            if prev == FREE {
+                return;
+            }
+            // Lock is held and flagged CONTENDED: sleep until an
+            // unlocker broadcasts. The predicate recheck under the
+            // bucket lock makes an unlock between the swap above and
+            // the park below impossible to miss.
+            park::park(addr, || self.state.load(Ordering::Relaxed) == CONTENDED);
+        }
+    }
+
+    #[inline]
+    fn raw_unlock(&self) {
+        if self.state.swap(FREE, Ordering::Release) == CONTENDED {
+            let addr = self as *const _ as *const () as usize;
+            park::unpark_all(addr);
         }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        if self
+            .state
+            .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
         }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.data.get_mut()
     }
 }
 
@@ -69,24 +235,28 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
-///
-/// Holds the std guard in an `Option` so [`Condvar::wait`] can take it
-/// out and put it back (parking_lot's `wait` borrows the guard mutably
-/// instead of consuming it).
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: Option<sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_ref().expect("guard present")
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("guard present")
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw_unlock();
     }
 }
 
@@ -97,46 +267,85 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
 }
 
 /// A condition variable usable with [`MutexGuard`].
+///
+/// Notification state is a single epoch counter: `wait` snapshots the
+/// epoch *before* releasing the mutex and parks while it is unchanged,
+/// so a notify landing in the release-to-park window advances the epoch
+/// and the waiter never sleeps through it.
 #[derive(Default)]
 pub struct Condvar {
-    inner: sync::Condvar,
+    epoch: AtomicUsize,
 }
 
 impl Condvar {
     /// Creates a new condition variable.
-    pub fn new() -> Self {
+    pub const fn new() -> Self {
         Condvar {
-            inner: sync::Condvar::new(),
+            epoch: AtomicUsize::new(0),
         }
     }
 
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
     /// Blocks until notified, releasing the guard's lock while waiting.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let g = guard.inner.take().expect("guard present");
-        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
-        guard.inner = Some(g);
+    /// Spurious wakeups are possible (callers loop on their predicate,
+    /// as with any condvar).
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Epoch read happens while the user mutex is still held: any
+        // notify after this point — even before we park — bumps past it.
+        let seen = self.epoch.load(Ordering::SeqCst);
+        let lock = guard.lock;
+        lock.raw_unlock();
+        park::park(self.addr(), || self.epoch.load(Ordering::SeqCst) == seen);
+        // Re-acquire before returning; the guard's Drop stays balanced.
+        if lock
+            .state
+            .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            lock.lock_slow();
+        }
     }
 
     /// Blocks until notified or the timeout elapses. Returns `true` if
     /// the wait timed out.
-    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
-        let g = guard.inner.take().expect("guard present");
-        let (g, res) = self
-            .inner
-            .wait_timeout(g, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
-        guard.inner = Some(g);
-        res.timed_out()
+    pub fn wait_for<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let seen = self.epoch.load(Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        let lock = guard.lock;
+        lock.raw_unlock();
+        let timed_out = park::park_until(self.addr(), deadline, || {
+            self.epoch.load(Ordering::SeqCst) == seen
+        });
+        if lock
+            .state
+            .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            lock.lock_slow();
+        }
+        timed_out
     }
 
     /// Wakes one waiter.
+    ///
+    /// Implemented as a broadcast: the parker's buckets are shared by
+    /// address hashing, so a single wakeup could strand the intended
+    /// waiter behind a collision victim. Waking all and letting each
+    /// recheck its predicate is the collision-safe reading of
+    /// `notify_one` (condvar users must tolerate spurious wakeups
+    /// anyway).
     pub fn notify_one(&self) {
-        self.inner.notify_one();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        park::unpark_all(self.addr());
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) {
-        self.inner.notify_all();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        park::unpark_all(self.addr());
     }
 }
 
@@ -146,7 +355,9 @@ impl fmt::Debug for Condvar {
     }
 }
 
-/// Reader-writer lock (no poisoning).
+/// Reader-writer lock (no poisoning). Unlike [`Mutex`] this stays
+/// std-backed: no simulator hot path takes it, so the byte-state
+/// machinery would be dead weight.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
     inner: sync::RwLock<T>,
@@ -194,6 +405,38 @@ mod tests {
     }
 
     #[test]
+    fn try_lock_respects_holders() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_increments_are_not_lost() {
+        // The real contention path: many threads, each forced through
+        // lock_slow often enough to park and be unparked.
+        let m = Arc::new(Mutex::new(0u64));
+        let threads = 8;
+        let iters = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    for _ in 0..iters {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), threads * iters);
+    }
+
+    #[test]
     fn condvar_wakes_waiter() {
         let pair = Arc::new((Mutex::new(false), Condvar::new()));
         let p2 = pair.clone();
@@ -213,6 +456,59 @@ mod tests {
     }
 
     #[test]
+    fn condvar_notify_between_unlock_and_park_is_not_lost() {
+        // Hammer the race window: the waiter snapshots the epoch, drops
+        // the lock, and the notifier fires immediately. Every round must
+        // complete — a lost wakeup hangs the test.
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p2 = pair.clone();
+        let rounds = 2_000u32;
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            for want in 1..=rounds {
+                let mut v = m.lock();
+                while *v < want {
+                    cv.wait(&mut v);
+                }
+            }
+        });
+        let (m, cv) = &*pair;
+        for _ in 0..rounds {
+            *m.lock() += 1;
+            cv.notify_one();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn wait_for_observes_a_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                let timed_out = cv.wait_for(&mut ready, Duration::from_secs(30));
+                assert!(!timed_out, "notify arrived, wait_for must not time out");
+            }
+        });
+        thread::sleep(Duration::from_millis(5));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
     fn lock_survives_a_panicking_holder() {
         let m = Arc::new(Mutex::new(7));
         let m2 = m.clone();
@@ -223,5 +519,27 @@ mod tests {
         .join();
         // parking_lot semantics: no poisoning, the value is still there.
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn many_mutexes_share_buckets_without_crosstalk() {
+        // More mutexes than parker buckets: collisions guaranteed. Each
+        // pair of threads contends on its own mutex; totals must hold.
+        let locks: Arc<Vec<Mutex<u64>>> = Arc::new((0..128).map(|_| Mutex::new(0)).collect());
+        let handles: Vec<_> = (0..16)
+            .map(|t| {
+                let locks = locks.clone();
+                thread::spawn(move || {
+                    for i in 0..2_000 {
+                        *locks[(t * 8 + i) % 128].lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = locks.iter().map(|m| *m.lock()).sum();
+        assert_eq!(total, 16 * 2_000);
     }
 }
