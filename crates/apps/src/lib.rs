@@ -235,6 +235,14 @@ pub struct RunOptions {
     /// (default) or real OS threads. Mutually exclusive with
     /// `schedule_fuzz`.
     pub backend: adsm_core::ExecBackend,
+    /// Chaos scenario: routes every cross-processor message through the
+    /// seeded delivery layer (loss, duplication, reorder, jitter, fault
+    /// windows) and records a replayable journal; drives
+    /// `repro scenarios`.
+    pub scenario: Option<adsm_core::Scenario>,
+    /// Replay a recorded delivery journal instead of drawing from a
+    /// scenario (simulator backend only; exclusive with `scenario`).
+    pub replay: Option<adsm_core::DeliveryJournal>,
 }
 
 impl RunOptions {
@@ -256,6 +264,12 @@ impl RunOptions {
         b = b.diff_strategy(self.diff_strategy);
         b = b.measure_host_costs(self.measure_host_costs);
         b = b.backend(self.backend);
+        if let Some(scenario) = &self.scenario {
+            b = b.scenario(scenario.clone());
+        }
+        if let Some(journal) = &self.replay {
+            b = b.replay_journal(journal.clone());
+        }
         b
     }
 }

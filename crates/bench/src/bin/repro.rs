@@ -10,18 +10,23 @@
 //!          ablation-migratory ablation-policies ablations
 //!          bench-hotpaths    (also writes BENCH_hotpaths.json)
 //!          bench-throughput  (also writes BENCH_throughput.json)
+//!          scenarios         (also writes BENCH_scenarios.json)
 //!
 //! --backend  execution backend(s) for bench-throughput: the
 //!          deterministic simulator, real OS threads, or both
 //!          (default: both — the JSON carries the sim columns plus the
 //!          `@threads` comparison columns)
-//! --smoke  bench-throughput at tiny scale / 4 procs (CI-budget run)
+//! --smoke  CI-budget runs: bench-throughput at tiny scale / 4 procs;
+//!          scenarios on a reduced app x scenario grid (2 apps, 3
+//!          corpus scenarios) at tiny scale / 4 procs
 //! --check  fail (exit 1) when a benchmark regresses past the seed
 //!          floors (sparse encode speedup, allocs/interval, fetch-path
 //!          clones, merge speedup, pool copy ratio; for
 //!          bench-throughput also the clone/skip invariants, the
 //!          presence of every requested backend's rows and, at smoke
-//!          settings, the sim-row barrier fan-in ceiling)
+//!          settings, the sim-row barrier fan-in ceiling; for
+//!          scenarios the verification, replay-identity and
+//!          fault-free-baseline gates of every cell)
 //! ```
 //!
 //! The emitted JSON files are documented field-by-field in
@@ -101,7 +106,7 @@ fn parse_args() -> Result<Options, String> {
                      \x20      [related ablation-quantum ablation-wg ablation-gc\n\
                      \x20       ablation-migratory ablation-policies ablations\n\
                      \x20       bench-hotpaths\n\
-                     \x20       bench-throughput]\n\
+                     \x20       bench-throughput scenarios]\n\
                      \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]\n\
                      \x20      [--backend sim|threads|both] [--smoke] [--check]"
                 );
@@ -112,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
                 || t.starts_with("ablation")
                 || t == "bench-hotpaths"
                 || t == "bench-throughput"
+                || t == "scenarios"
                 || t == "related"
                 || t == "sensitivity"
                 || t == "scaling"
@@ -347,6 +353,59 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("throughput invariant gate: pass (barrier fan-in mean {fanin:.0} ns)");
+        }
+    }
+
+    // Chaos-scenario sweep: the applications under the scenario corpus
+    // (lossy, reordering, bursty, jittery delivery), gating sequential
+    // correctness, journal-replay bit-identity and the fault-free
+    // no-op property. `--smoke` shrinks to 2 apps x 3 scenarios.
+    if opts.targets.iter().any(|t| t == "scenarios") {
+        let (scale, nprocs) = if opts.smoke {
+            (Scale::Tiny, 4)
+        } else {
+            (opts.scale, opts.nprocs)
+        };
+        let corpus = adsm_core::Scenario::corpus();
+        let (apps, corpus): (Vec<App>, Vec<adsm_core::Scenario>) = if opts.smoke {
+            (
+                vec![App::Sor, App::Tsp],
+                corpus
+                    .into_iter()
+                    .filter(|s| matches!(s.name.as_str(), "perfect" | "lossy-1pct" | "bursty-loss"))
+                    .collect(),
+            )
+        } else {
+            (opts.apps.clone(), corpus)
+        };
+        eprintln!(
+            "running chaos scenario sweep ({} apps x {} scenarios, {scale} scale, \
+             {nprocs} procs)...",
+            apps.len(),
+            corpus.len()
+        );
+        let report = adsm_bench::measure_scenarios(
+            nprocs,
+            scale,
+            &apps,
+            adsm_core::ProtocolKind::Wfs,
+            &corpus,
+        );
+        println!("{}", report.summary_table());
+        let json = report.to_json();
+        match std::fs::write("BENCH_scenarios.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_scenarios.json"),
+            Err(e) => eprintln!("could not write BENCH_scenarios.json: {e}"),
+        }
+        if opts.check {
+            let fails = report.failures();
+            if !fails.is_empty() {
+                for f in &fails {
+                    eprintln!("REGRESSION: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            eprintln!("scenario gate: pass ({} cells)", report.cells.len());
         }
     }
 

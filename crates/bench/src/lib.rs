@@ -22,6 +22,7 @@ use adsm_core::{ProtocolKind, SimTime};
 mod ablation;
 pub mod alloc_count;
 pub mod hotpaths;
+pub mod scenarios;
 pub mod throughput;
 
 pub use ablation::{
@@ -29,6 +30,7 @@ pub use ablation::{
     ablation_quantum, ablation_wg, related, scaling, sensitivity,
 };
 pub use hotpaths::{measure_hotpaths, HotpathReport};
+pub use scenarios::{measure_scenarios, ScenarioCell, ScenarioReport};
 pub use throughput::{measure_throughput, ThroughputReport};
 
 /// The four protocols in the paper's presentation order (Fig. 2).

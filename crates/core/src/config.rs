@@ -1,6 +1,7 @@
 use std::fmt;
+use std::sync::Arc;
 
-use adsm_netsim::CostModel;
+use adsm_netsim::{CostModel, DeliveryJournal, Scenario};
 
 /// Which coherence protocol a run uses.
 ///
@@ -303,6 +304,17 @@ pub struct DsmConfig {
     /// [`schedule_fuzz`](Self::schedule_fuzz) — fuzzing is a property of
     /// the simulator's scheduler.
     pub backend: ExecBackend,
+    /// Chaos scenario driving the delivery layer (loss, duplication,
+    /// reordering, jitter, scheduled faults). `None` — and any
+    /// all-zero-rates scenario — delivers every message perfectly and
+    /// is bit-identical to the cost model alone. While a scenario is
+    /// active every delivery deviation is journaled; the journal comes
+    /// back on [`RunOutcome::journal`](crate::RunOutcome::journal).
+    pub scenario: Option<Arc<Scenario>>,
+    /// Replay a recorded delivery journal instead of drawing fates from
+    /// a scenario PRNG. Simulator backend only; mutually exclusive with
+    /// [`scenario`](Self::scenario).
+    pub replay: Option<Arc<DeliveryJournal>>,
 }
 
 impl DsmConfig {
@@ -322,6 +334,8 @@ impl DsmConfig {
             sc_check: std::env::var_os("ADSM_SC_CHECK").is_some(),
             measure_host_costs: false,
             backend: ExecBackend::default(),
+            scenario: None,
+            replay: None,
         }
     }
 }

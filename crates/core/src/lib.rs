@@ -83,5 +83,8 @@ pub use system::{Dsm, DsmBuilder, RunError, RunOutcome};
 
 // Re-export the substrate types that appear in this crate's public API.
 pub use adsm_mempage::{PageId, Pod, PAGE_SIZE};
-pub use adsm_netsim::{CostModel, MsgKind, NetStats, SimTime, Trace, TraceKind};
+pub use adsm_netsim::{
+    CostModel, Delivery, DeliveryJournal, Fault, FaultKind, JournalEvent, LinkProfile, MsgKind,
+    NetStats, RetryPolicy, Scenario, ScenarioParseError, SimTime, Trace, TraceKind,
+};
 pub use adsm_vclock::ProcId;

@@ -93,7 +93,7 @@ impl Proc {
         if must_block {
             // The releaser completes the handshake (notices,
             // invalidations, wake-up time).
-            self.task.block();
+            self.task.block_on(adsm_engine::ParkHint::Lock(lock_id));
         }
     }
 
@@ -129,7 +129,7 @@ impl Proc {
             self.proto.barrier(&mut ctx, self.id) == sync::BarrierOutcome::MustBlock
         };
         if must_block {
-            self.task.block();
+            self.task.block_on(adsm_engine::ParkHint::Barrier);
         }
     }
 

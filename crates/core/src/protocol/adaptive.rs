@@ -77,8 +77,9 @@ fn migrate_on_read(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let q = ctx.w.pages[pgidx].owner.expect("eligibility checked");
     let cost_model = ctx.w.cfg.cost.clone();
 
-    let c_req = ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, q);
-    let arrival = ctx.now() + c_req;
+    let now = ctx.now();
+    let c_req = ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, q, now);
+    let arrival = now + c_req;
     let close_cost = lrc::close_interval(ctx.w, ctx.mems, q, arrival);
     ctx.charge_other(q, close_cost);
     ctx.interrupt(q);
@@ -87,7 +88,7 @@ fn migrate_on_read(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let notice_bytes = lrc::integrate_from(ctx.w, ctx.mems, p, &q_vc);
     let c_reply = ctx
         .w
-        .msg(MsgKind::PageReply, notice_bytes + PAGE_SIZE, q, p);
+        .msg(MsgKind::PageReply, notice_bytes + PAGE_SIZE, q, p, arrival);
     ctx.charge(cost_model.service_interrupt + close_cost + c_reply);
 
     install_merged_copy(ctx, p, q, page);
@@ -135,7 +136,8 @@ fn sw_mode_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         return;
     }
 
-    let c_req = ctx.w.msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, q);
+    let now = ctx.now();
+    let c_req = ctx.w.msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, q, now);
 
     // Authoritative check at the target (§3.1.1): still owner, version
     // unchanged, not already committed to dropping.
@@ -184,7 +186,7 @@ fn grant_ownership(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: PageId, c_req:
     // been invalidated by the owner's closing notice.)
     let needs_page = !ctx.mems[p.index()].lock().rights(page).readable();
     let payload = notice_bytes + if needs_page { PAGE_SIZE } else { 0 };
-    let c_grant = ctx.w.msg(MsgKind::OwnershipGrant, payload, q, p);
+    let c_grant = ctx.w.msg(MsgKind::OwnershipGrant, payload, q, p, arrival);
     ctx.charge(cost_model.service_interrupt + close_cost + c_grant);
 
     if needs_page {
@@ -252,7 +254,8 @@ fn refuse_ownership(
     let cost_model = ctx.w.cfg.cost.clone();
     let needs_page = !ctx.mems[p.index()].lock().rights(page).readable();
     let payload = CTRL_BYTES + if needs_page { PAGE_SIZE } else { 0 };
-    let c_reply = ctx.w.msg(MsgKind::OwnershipRefusal, payload, q, p);
+    let arrival = ctx.now() + c_req;
+    let c_reply = ctx.w.msg(MsgKind::OwnershipRefusal, payload, q, p, arrival);
     ctx.charge(c_req + cost_model.service_interrupt + c_reply);
     ctx.interrupt(q);
     ctx.w.proto.ownership_refusals += 1;

@@ -31,10 +31,11 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
     // Coordination traffic: manager tells everyone to collect, everyone
     // acknowledges.
     let manager = ProcId::new(0);
+    let now = ctx.now();
     for q in ProcId::all(nprocs) {
         if q != manager {
-            ctx.w.msg(MsgKind::GcControl, CTRL_BYTES, manager, q);
-            ctx.w.msg(MsgKind::GcControl, CTRL_BYTES, q, manager);
+            ctx.w.msg(MsgKind::GcControl, CTRL_BYTES, manager, q, now);
+            ctx.w.msg(MsgKind::GcControl, CTRL_BYTES, q, manager, now);
         }
     }
 

@@ -83,7 +83,7 @@ pub(crate) fn fetch_from_home(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // base would otherwise go stale against the freshly installed
     // copy).
     if ctx.w.cfg.hlrc_lazy_flush {
-        force_flush_page(ctx.w, ctx.mems, page);
+        force_flush_page(ctx.w, ctx.mems, page, ctx.now());
     }
     let pidx = p.index();
     let pgidx = page.index();
@@ -116,9 +116,12 @@ pub(crate) fn fetch_from_home(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             })
         };
 
-        ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, home);
-        ctx.w.msg(MsgKind::PageReply, PAGE_SIZE, home, p);
-        let cost = ctx.w.cfg.cost.rtt(CTRL_BYTES, PAGE_SIZE);
+        let now = ctx.now();
+        let c_req = ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, home, now);
+        let c_rep = ctx
+            .w
+            .msg(MsgKind::PageReply, PAGE_SIZE, home, p, now + c_req);
+        let cost = c_req + ctx.w.cfg.cost.service_interrupt + c_rep;
         ctx.charge(cost);
         ctx.interrupt(home);
         ctx.w.proto.pages_transferred += 1;
@@ -158,6 +161,7 @@ pub(crate) fn flush_diff_to_home(
     p: ProcId,
     page: PageId,
     diff: &Diff,
+    now: adsm_netsim::SimTime,
 ) -> adsm_netsim::SimTime {
     let home = w.home_of(page, p);
     let wire = diff.wire_size();
@@ -174,7 +178,7 @@ pub(crate) fn flush_diff_to_home(
         return adsm_netsim::SimTime::ZERO;
     }
 
-    let send = w.msg(MsgKind::DiffFlush, wire, p, home);
+    let send = w.msg(MsgKind::DiffFlush, wire, p, home, now);
     let apply = w.cfg.cost.diff_apply(diff.modified_bytes()) + w.cfg.cost.service_interrupt;
     w.deferred_costs.push((home.index(), apply));
     w.proto.diffs_applied += 1;
@@ -204,6 +208,7 @@ pub(crate) fn force_flush_page(
     w: &mut crate::world::World,
     mems: &[parking_lot::Mutex<adsm_mempage::PagedMemory>],
     page: PageId,
+    now: adsm_netsim::SimTime,
 ) {
     for q in 0..w.nprocs() {
         let Some(base) = w.procs[q].pages[page.index()].flush_pending.take() else {
@@ -226,7 +231,7 @@ pub(crate) fn force_flush_page(
         w.profiler.note_grain(modified);
         w.pages[page.index()].last_diff_bytes = modified;
         let writer = ProcId::new(q);
-        let send = flush_diff_to_home(w, mems, writer, page, &diff);
+        let send = flush_diff_to_home(w, mems, writer, page, &diff, now);
         let encode = w.cfg.cost.diff_create(modified);
         w.deferred_costs.push((q, encode + send));
     }
@@ -238,13 +243,14 @@ pub(crate) fn force_flush_page(
 pub(crate) fn force_all(
     w: &mut crate::world::World,
     mems: &[parking_lot::Mutex<adsm_mempage::PagedMemory>],
+    now: adsm_netsim::SimTime,
 ) {
     for pg in 0..w.cfg.npages {
         if w.procs
             .iter()
             .any(|pc| pc.pages[pg].flush_pending.is_some())
         {
-            force_flush_page(w, mems, PageId::new(pg));
+            force_flush_page(w, mems, PageId::new(pg), now);
         }
     }
 }

@@ -80,6 +80,22 @@ fn encode_dirty_window(mem: &PagedMemory, twin: &[u8], page: PageId) -> adsm_mem
     diff
 }
 
+/// Rights a dirty page is re-protected with at interval close. A page
+/// whose missing-notice list carries a *foreign* interval was
+/// invalidated mid-session — a lock-grant ship landed while the write
+/// session was open — and must stay inaccessible so the next touch
+/// runs the merge procedure; re-protecting it to `Read` would expose
+/// the local copy with the foreign modifications missing (a stale
+/// read). Own pending notices do not force a fault: the local copy
+/// contains every local write by definition.
+fn close_rights(pc: &crate::world::PageCtl, p: ProcId) -> AccessRights {
+    if pc.missing.iter().any(|n| n.interval.proc != p) {
+        AccessRights::None
+    } else {
+        AccessRights::Read
+    }
+}
+
 /// Closes `p`'s open interval if it wrote anything: creates write
 /// notices, and — for MW-mode pages — encodes the interval's diffs
 /// against their twins and re-protects the pages (eager per-interval
@@ -128,7 +144,8 @@ pub(crate) fn close_interval(
                     kind: NoticeKind::Owner(version),
                 });
                 // Re-protect for write detection in the next interval.
-                mems[p.index()].lock().set_rights(page, AccessRights::Read);
+                let rights = close_rights(&w.procs[p.index()].pages[page.index()], p);
+                mems[p.index()].lock().set_rights(page, rights);
                 w.procs[p.index()].pages[page.index()].dirty = false;
 
                 // A refused requester or a concurrent writer was seen:
@@ -150,7 +167,8 @@ pub(crate) fn close_interval(
                 // the home itself wrote in place (no twin, nothing to
                 // flush). Both cases re-protect for the next interval.
                 let twin = w.procs[p.index()].pages[page.index()].twin.take();
-                mems[p.index()].lock().set_rights(page, AccessRights::Read);
+                let rights = close_rights(&w.procs[p.index()].pages[page.index()], p);
+                mems[p.index()].lock().set_rights(page, rights);
                 w.procs[p.index()].pages[page.index()].dirty = false;
                 if let Some(twin) = twin {
                     if w.cfg.hlrc_lazy_flush {
@@ -181,7 +199,7 @@ pub(crate) fn close_interval(
                         w.proto.twin_dropped(PAGE_SIZE);
                         let modified = diff.modified_bytes();
                         cost += w.cfg.cost.diff_create(modified);
-                        cost += super::hlrc::flush_diff_to_home(w, mems, p, page, &diff);
+                        cost += super::hlrc::flush_diff_to_home(w, mems, p, page, &diff, now);
                         w.profiler.note_grain(modified);
                         trace_diff = true;
                         w.pages[page.index()].last_diff_bytes = modified;
@@ -207,7 +225,8 @@ pub(crate) fn close_interval(
                     w.procs[p.index()].pages[page.index()].pending.is_none(),
                     "previous pending diff must be materialised before a new session"
                 );
-                mems[p.index()].lock().set_rights(page, AccessRights::Read);
+                let rights = close_rights(&w.procs[p.index()].pages[page.index()], p);
+                mems[p.index()].lock().set_rights(page, rights);
                 w.procs[p.index()].pages[page.index()].dirty = false;
                 w.procs[p.index()].pages[page.index()].pending =
                     Some(crate::world::PendingDiff { interval: id, twin });
@@ -237,9 +256,10 @@ pub(crate) fn close_interval(
                     .twin
                     .take()
                     .expect("MW-dirty page must have a twin");
+                let rights = close_rights(&w.procs[p.index()].pages[page.index()], p);
                 let mut mem = mems[p.index()].lock();
                 let diff = encode_dirty_window(&mem, &twin, page);
-                mem.set_rights(page, AccessRights::Read);
+                mem.set_rights(page, rights);
                 drop(mem);
                 w.proto.twin_dropped(PAGE_SIZE);
                 w.procs[p.index()].pages[page.index()].dirty = false;
@@ -803,6 +823,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let my_mode_sw = ctx.w.procs[pidx].pages[pgidx].mode == PageMode::Sw;
     let mut remote_writers = 0u64;
     let mut total_reply_bytes = 0usize;
+    let mut chaos_extra = SimTime::ZERO;
     for wi in 0..scratch.writers.len() {
         let q = scratch.writers[wi];
         // Lazy diffing: the writer encodes its retained twin on demand.
@@ -845,8 +866,16 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             }
         }
         if q != p {
-            ctx.w.msg(MsgKind::DiffRequest, CTRL_BYTES, p, q);
-            ctx.w.msg(MsgKind::DiffReply, reply_bytes, q, p);
+            let send_at = ctx.now();
+            let c_req = ctx.w.msg(MsgKind::DiffRequest, CTRL_BYTES, p, q, send_at);
+            let c_rep = ctx
+                .w
+                .msg(MsgKind::DiffReply, reply_bytes, q, p, send_at + c_req);
+            // The requests travel in parallel, so chaos delays overlap:
+            // only the slowest pair's excess over its clean round trip
+            // lands on the requester (charged with the batch below).
+            let clean = ctx.w.cfg.cost.msg_cost(CTRL_BYTES) + ctx.w.cfg.cost.msg_cost(reply_bytes);
+            chaos_extra = chaos_extra.max((c_req + c_rep).saturating_since(clean));
             remote_writers += 1;
             total_reply_bytes += reply_bytes;
             ctx.interrupt(q);
@@ -867,7 +896,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         let bytes = (total_reply_bytes
             + remote_writers as usize * (CTRL_BYTES + 2 * adsm_netsim::MSG_HEADER_BYTES))
             as u64;
-        ctx.charge(fixed + SimTime::from_ns(cost_model.per_byte_ns * bytes));
+        ctx.charge(fixed + SimTime::from_ns(cost_model.per_byte_ns * bytes) + chaos_extra);
     }
 
     // 4. Apply in a linear extension of happened-before-1, resolved in
@@ -958,9 +987,12 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
         validate_page(ctx, q, page);
     }
     let bytes = serve_page_bytes(ctx.w, ctx.mems, q, page);
-    ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, q);
-    ctx.w.msg(MsgKind::PageReply, PAGE_SIZE, q, p);
-    let cost = ctx.w.cfg.cost.rtt(CTRL_BYTES, PAGE_SIZE);
+    let send_at = ctx.now();
+    let c_req = ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, q, send_at);
+    let c_rep = ctx
+        .w
+        .msg(MsgKind::PageReply, PAGE_SIZE, q, p, send_at + c_req);
+    let cost = c_req + ctx.w.cfg.cost.service_interrupt + c_rep;
     ctx.charge(cost);
     ctx.interrupt(q);
     {

@@ -52,13 +52,22 @@ pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     let manager = ProcId::new(pgidx % ctx.w.nprocs());
     let cost_model = ctx.w.cfg.cost.clone();
-    let c_req = ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, manager);
+    let now = ctx.now();
+    let c_req = ctx.w.msg(MsgKind::PageRequest, CTRL_BYTES, p, manager, now);
     let c_fwd = if manager != owner {
-        ctx.w.msg(MsgKind::PageForward, CTRL_BYTES, manager, owner)
+        ctx.w.msg(
+            MsgKind::PageForward,
+            CTRL_BYTES,
+            manager,
+            owner,
+            now + c_req,
+        )
     } else {
         SimTime::ZERO
     };
-    let c_rep = ctx.w.msg(MsgKind::PageReply, PAGE_SIZE, owner, p);
+    let c_rep = ctx
+        .w
+        .msg(MsgKind::PageReply, PAGE_SIZE, owner, p, now + c_req + c_fwd);
     ctx.charge(c_req + c_fwd + cost_model.service_interrupt + c_rep);
     ctx.interrupt(owner);
 
@@ -93,10 +102,18 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     if owner != p {
         let manager = ProcId::new(pgidx % ctx.w.nprocs());
-        let c_req = ctx.w.msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, manager);
+        let now = ctx.now();
+        let c_req = ctx
+            .w
+            .msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, manager, now);
         let c_fwd = if manager != owner {
-            ctx.w
-                .msg(MsgKind::OwnershipForward, CTRL_BYTES, manager, owner)
+            ctx.w.msg(
+                MsgKind::OwnershipForward,
+                CTRL_BYTES,
+                manager,
+                owner,
+                now + c_req,
+            )
         } else {
             SimTime::ZERO
         };
@@ -105,7 +122,13 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         // current bytes — every write is propagated before it happens).
         let needs_page = !ctx.mems[p.index()].lock().rights(page).readable();
         let payload = CTRL_BYTES + if needs_page { PAGE_SIZE } else { 0 };
-        let c_grant = ctx.w.msg(MsgKind::OwnershipGrant, payload, owner, p);
+        let c_grant = ctx.w.msg(
+            MsgKind::OwnershipGrant,
+            payload,
+            owner,
+            p,
+            now + c_req + c_fwd,
+        );
         ctx.charge(c_req + c_fwd + cost_model.service_interrupt + c_grant);
         ctx.interrupt(owner);
 
@@ -145,8 +168,10 @@ fn invalidate_copies(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         if q == p || !ctx.w.pages[pgidx].copyset[q.index()] {
             continue;
         }
-        ctx.w.msg(MsgKind::Invalidation, CTRL_BYTES, p, q);
-        ctx.w.msg(MsgKind::InvalidationAck, CTRL_BYTES, q, p);
+        let now = ctx.now();
+        let c_inv = ctx.w.msg(MsgKind::Invalidation, CTRL_BYTES, p, q, now);
+        ctx.w
+            .msg(MsgKind::InvalidationAck, CTRL_BYTES, q, p, now + c_inv);
         ctx.interrupt(q);
         ctx.mems[q.index()]
             .lock()

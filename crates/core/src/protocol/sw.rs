@@ -34,17 +34,25 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     // Request -> home -> owner (forwarding skipped when home == owner or
     // requester == home; self-messages are free).
-    let c_req = ctx.w.msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, home);
+    let now = ctx.now();
+    let c_req = ctx
+        .w
+        .msg(MsgKind::OwnershipRequest, CTRL_BYTES, p, home, now);
     let c_fwd = if home != owner {
-        ctx.w
-            .msg(MsgKind::OwnershipForward, CTRL_BYTES, home, owner)
+        ctx.w.msg(
+            MsgKind::OwnershipForward,
+            CTRL_BYTES,
+            home,
+            owner,
+            now + c_req,
+        )
     } else {
         adsm_netsim::SimTime::ZERO
     };
 
     // The owner services the request: it may have to sit on the page
     // until its ownership quantum expires (§2.3).
-    let arrival = ctx.now() + c_req + c_fwd;
+    let arrival = now + c_req + c_fwd;
     let quantum_up = ctx.w.pages[pgidx].owner_since + cost_model.ownership_quantum;
     let grant_at = arrival.max(quantum_up);
     ctx.task.advance_to(grant_at);
@@ -57,9 +65,13 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     let owner_vc = ctx.w.procs[owner.index()].vc.clone();
     let notice_bytes = lrc::integrate_from(ctx.w, ctx.mems, p, &owner_vc);
-    let c_grant = ctx
-        .w
-        .msg(MsgKind::OwnershipGrant, notice_bytes + PAGE_SIZE, owner, p);
+    let c_grant = ctx.w.msg(
+        MsgKind::OwnershipGrant,
+        notice_bytes + PAGE_SIZE,
+        owner,
+        p,
+        grant_at,
+    );
     ctx.charge(cost_model.service_interrupt + close_cost + c_grant);
 
     // Install the page, transfer ownership, bump the version.
@@ -85,7 +97,8 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     // New owner tells the home where the page lives now.
     if home != p && home != owner {
-        ctx.w.msg(MsgKind::HomeUpdate, CTRL_BYTES, p, home);
+        let now = ctx.now();
+        ctx.w.msg(MsgKind::HomeUpdate, CTRL_BYTES, p, home, now);
     }
 
     let pc = &mut ctx.w.procs[p.index()].pages[pgidx];

@@ -52,9 +52,18 @@ pub(crate) fn acquire(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) -> AcquireOutc
     }
 
     let target = holder.unwrap_or(last_releaser);
-    let c_req = ctx.w.msg(MsgKind::LockRequest, CTRL_BYTES, p, manager);
+    let send_at = ctx.now();
+    let c_req = ctx
+        .w
+        .msg(MsgKind::LockRequest, CTRL_BYTES, p, manager, send_at);
     let c_fwd = if manager != target {
-        ctx.w.msg(MsgKind::LockForward, CTRL_BYTES, manager, target)
+        ctx.w.msg(
+            MsgKind::LockForward,
+            CTRL_BYTES,
+            manager,
+            target,
+            send_at + c_req,
+        )
     } else {
         SimTime::ZERO
     };
@@ -74,7 +83,7 @@ pub(crate) fn acquire(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) -> AcquireOutc
         let bytes = lrc::integrate_from(ctx.w, ctx.mems, p, &grantor_vc);
         let c_grant = ctx
             .w
-            .msg(MsgKind::LockGrant, CTRL_BYTES + bytes, grantor, p);
+            .msg(MsgKind::LockGrant, CTRL_BYTES + bytes, grantor, p, now);
         ctx.charge(cost_model.service_interrupt + close_cost + c_grant);
 
         ctx.w.locks.get_mut(&lock_id).expect("lock exists").holder = Some(p);
@@ -118,7 +127,7 @@ pub(crate) fn release(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) {
 
         let my_vc = ctx.w.procs[p.index()].vc.clone();
         let bytes = lrc::integrate_from(ctx.w, ctx.mems, r, &my_vc);
-        let c_grant = ctx.w.msg(MsgKind::LockGrant, CTRL_BYTES + bytes, p, r);
+        let c_grant = ctx.w.msg(MsgKind::LockGrant, CTRL_BYTES + bytes, p, r, now);
 
         let st = ctx.w.locks.get_mut(&lock_id).expect("lock exists");
         st.holder = Some(r);
@@ -166,7 +175,9 @@ pub(crate) fn barrier_arrive(
 
     // Arrival message carries the arriver's new intervals.
     let arrive_bytes = new_interval_bytes(ctx.w, p);
-    let c_arr = ctx.w.msg(MsgKind::BarrierArrive, arrive_bytes, p, manager);
+    let c_arr = ctx
+        .w
+        .msg(MsgKind::BarrierArrive, arrive_bytes, p, manager, now);
     ctx.charge(c_arr);
 
     let arrival = ctx.now();
@@ -251,6 +262,7 @@ pub(crate) fn barrier_arrive(
             CTRL_BYTES + payloads[q.index()],
             manager,
             q,
+            completion,
         );
         if q == p {
             ctx.charge(c_rel);

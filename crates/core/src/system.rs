@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use adsm_engine::Engine;
 use adsm_mempage::{page_count, PagedMemory, Pod, PAGE_SIZE};
-use adsm_netsim::{CostModel, SimTime};
+use adsm_netsim::{CostModel, Delivery, DeliveryJournal, Scenario, SimTime};
 use adsm_vclock::ProcId;
 use parking_lot::Mutex;
 
@@ -258,6 +258,45 @@ impl DsmBuilder {
         self
     }
 
+    /// Attaches a chaos [`Scenario`]: every cross-processor protocol
+    /// message is routed through the seeded delivery layer, which may
+    /// drop it (the sender times out and retransmits with exponential
+    /// backoff), duplicate it (the receiver suppresses the copy but
+    /// pays a service interrupt), reorder it, or stretch its latency —
+    /// all deterministically from the scenario seed. Every deviation is
+    /// journaled; the completed run's [`RunOutcome::journal`] replays
+    /// it bit-identically. A scenario with all-zero rates and no faults
+    /// is exactly a plain run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ProtocolKind};
+    /// use adsm_netsim::Scenario;
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Wfs)
+    ///     .nprocs(4)
+    ///     .scenario(Scenario::lossy("lossy", 42, 10_000))
+    ///     .build();
+    /// assert_eq!(dsm.nprocs(), 4);
+    /// ```
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.cfg.scenario = Some(scenario.into_arc());
+        self
+    }
+
+    /// Replays a recorded chaos journal: the delivery layer takes every
+    /// drop/duplicate/delay decision from the journal instead of the
+    /// PRNG, reproducing a recorded run bit-identically (same
+    /// [`NetStats`](adsm_netsim::NetStats), same final image).
+    /// Simulator backend only; mutually exclusive with
+    /// [`scenario`](Self::scenario) — both are rejected by [`Dsm::run`]
+    /// with [`RunError::BadConfig`].
+    pub fn replay_journal(mut self, journal: DeliveryJournal) -> Self {
+        self.cfg.replay = Some(Arc::new(journal));
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Dsm {
         Dsm {
@@ -368,6 +407,25 @@ impl Dsm {
                     .into(),
             ));
         }
+        if let Some(journal) = &cfg.replay {
+            if cfg.scenario.is_some() {
+                return Err(RunError::BadConfig(
+                    "a run either records under a scenario or replays a journal, not both".into(),
+                ));
+            }
+            if cfg.backend == crate::ExecBackend::Threads {
+                return Err(RunError::BadConfig(
+                    "journal replay matches per-link message sequences, which only the \
+                     deterministic simulator reproduces; the threads backend cannot replay"
+                        .into(),
+                ));
+            }
+            // Dry-run the cursor build so World::new cannot be reached
+            // with a journal that does not fit this cluster.
+            if let Err(e) = Delivery::replay((**journal).clone(), cfg.nprocs) {
+                return Err(RunError::BadConfig(format!("replay journal rejected: {e}")));
+            }
+        }
         cfg.npages = page_count(self.cursor).max(1);
         let nprocs = cfg.nprocs;
         let npages = cfg.npages;
@@ -477,8 +535,16 @@ impl Dsm {
             .map_err(|_| ())
             .expect("threads joined");
         let image = finalize_image(&mut w, &mems, protocol, npages);
+        // Taken *after* finalize_image so the journal also covers the
+        // image-assembly messages — a replayed run repeats them and
+        // lands on the same journal and the same NetStats totals.
+        let journal = w.delivery.take().and_then(|d| d.into_journal());
 
-        Ok(RunOutcome { report, image })
+        Ok(RunOutcome {
+            report,
+            image,
+            journal,
+        })
     }
 }
 
@@ -506,7 +572,7 @@ fn finalize_image(
     if protocol == ProtocolKind::Hlrc {
         // Lazy flushing: ship every still-deferred diff home so the
         // homes' frames are authoritative for the image below.
-        crate::protocol::hlrc::force_all(w, mems);
+        crate::protocol::hlrc::force_all(w, mems, SimTime::ZERO);
     }
     w.deferred_costs.clear();
     // The comparators keep one authoritative frame per page: the owner's
@@ -558,6 +624,7 @@ pub struct RunOutcome {
     /// Everything measured during the run.
     pub report: RunReport,
     image: Vec<u8>,
+    journal: Option<DeliveryJournal>,
 }
 
 impl fmt::Debug for RunOutcome {
@@ -565,6 +632,10 @@ impl fmt::Debug for RunOutcome {
         f.debug_struct("RunOutcome")
             .field("report", &self.report)
             .field("image_bytes", &self.image.len())
+            .field(
+                "journal_events",
+                &self.journal.as_ref().map(DeliveryJournal::len),
+            )
             .finish()
     }
 }
@@ -593,5 +664,16 @@ impl RunOutcome {
     /// against the simulator.
     pub fn image(&self) -> &[u8] {
         &self.image
+    }
+
+    /// The chaos delivery journal recorded by this run, present exactly
+    /// when the run was configured with a
+    /// [`scenario`](DsmBuilder::scenario). It holds one event per
+    /// delivery *deviation* (drop, duplicate, reorder, jitter) — a
+    /// fault-free run under a perfect scenario records an empty
+    /// journal. Feed it to [`DsmBuilder::replay_journal`] to reproduce
+    /// the run bit-identically without the scenario.
+    pub fn journal(&self) -> Option<&DeliveryJournal> {
+        self.journal.as_ref()
     }
 }

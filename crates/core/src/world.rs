@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use adsm_mempage::{Diff, PageBuf, PageId, PagePool};
-use adsm_netsim::{MsgKind, NetStats, SimTime, Trace};
+use adsm_netsim::{Delivery, MsgKind, NetStats, SimTime, Trace};
 use adsm_vclock::{IntervalId, ProcId, VectorClock};
 
 use crate::metrics::ProtocolStats;
@@ -458,6 +458,10 @@ pub(crate) struct World {
     /// Recycled [`MergeScratch`] sets for `validate_page`; depth equals
     /// the validation recursion depth, flat after warm-up.
     pub merge_scratch: Vec<MergeScratch>,
+    /// Chaos delivery engine (recording or replaying), present when the
+    /// run has a scenario or a replay journal configured. `None` means
+    /// perfect delivery at zero overhead.
+    pub delivery: Option<Delivery>,
 }
 
 impl World {
@@ -527,6 +531,14 @@ impl World {
             profiler: Profiler::new(nprocs, npages),
             pool: PagePool::new(),
             merge_scratch: Vec::new(),
+            delivery: match (&cfg.replay, &cfg.scenario) {
+                (Some(journal), _) => Some(
+                    Delivery::replay((**journal).clone(), nprocs)
+                        .expect("replay journal validated by Dsm::run"),
+                ),
+                (None, Some(scenario)) => Some(Delivery::record(scenario.clone(), nprocs)),
+                (None, None) => None,
+            },
             cfg,
         }
     }
@@ -569,15 +581,46 @@ impl World {
         &self.interval(id).vc
     }
 
-    /// Records and prices one message from `src` to `dst`. Messages a
-    /// node "sends to itself" are free and unrecorded, like local calls
-    /// in the real system.
-    pub fn msg(&mut self, kind: MsgKind, payload: usize, src: ProcId, dst: ProcId) -> SimTime {
+    /// Records and prices one message from `src` to `dst` sent at
+    /// virtual time `now`. Messages a node "sends to itself" are free
+    /// and unrecorded, like local calls in the real system.
+    ///
+    /// With a chaos scenario active the delivery layer may add timeout
+    /// waits (drops + retransmission), extra latency (jitter, reorder,
+    /// fault stalls), and suppressed duplicates — whose discard is
+    /// charged to the receiver through [`World::deferred_costs`].
+    pub fn msg(
+        &mut self,
+        kind: MsgKind,
+        payload: usize,
+        src: ProcId,
+        dst: ProcId,
+        now: SimTime,
+    ) -> SimTime {
         if src == dst {
             return SimTime::ZERO;
         }
         self.net.record(kind, payload);
-        self.cfg.cost.msg_cost(payload)
+        let base = self.cfg.cost.msg_cost(payload);
+        let Some(delivery) = self.delivery.as_mut() else {
+            return base;
+        };
+        let out = delivery.transmit(
+            kind,
+            payload,
+            src.index(),
+            dst.index(),
+            now,
+            base,
+            &mut self.net,
+        );
+        if out.duplicated {
+            // Idempotent receive: the receiver is interrupted once more
+            // to recognise and discard the duplicate copy.
+            self.deferred_costs
+                .push((dst.index(), self.cfg.cost.service_interrupt));
+        }
+        base + out.extra
     }
 
     /// Emits a Figure-3 trace point with the current cluster-wide diff
@@ -662,10 +705,10 @@ mod tests {
     fn self_messages_are_free() {
         let mut w = world(1);
         let p = ProcId::new(1);
-        let cost = w.msg(MsgKind::PageRequest, 16, p, p);
+        let cost = w.msg(MsgKind::PageRequest, 16, p, p, SimTime::ZERO);
         assert_eq!(cost, SimTime::ZERO);
         assert_eq!(w.net.total_messages(), 0);
-        let cost = w.msg(MsgKind::PageRequest, 16, p, ProcId::new(2));
+        let cost = w.msg(MsgKind::PageRequest, 16, p, ProcId::new(2), SimTime::ZERO);
         assert!(cost > SimTime::ZERO);
         assert_eq!(w.net.total_messages(), 1);
     }

@@ -383,6 +383,85 @@ fn steady_state_bulk_spans_allocate_nothing() {
     .expect("bulk-span run completes");
 }
 
+/// The chaos delivery layer's fast path: under an explicit perfect
+/// scenario the fate decision is a branch, not a draw — steady-state
+/// iterations add **zero** page-buffer allocations beyond the plain
+/// run's, the journal stays empty (nothing to record when nothing
+/// deviates), and every chaos counter is pinned at zero.
+#[test]
+fn perfect_scenario_steady_state_adds_no_allocations_or_retransmissions() {
+    use adsm_core::Scenario;
+    fn run_sor_perfect(protocol: ProtocolKind, iters: usize) -> adsm_core::RunOutcome {
+        let mut dsm = Dsm::builder(protocol)
+            .nprocs(NPROCS)
+            .scenario(Scenario::perfect())
+            .build();
+        let grid = dsm.alloc_page_aligned::<u64>(N * N);
+        dsm.run(move |p| {
+            let rows = N / p.nprocs();
+            let lo = p.index() * rows;
+            let hi = lo + rows;
+            for it in 0..iters {
+                for colour in 0..2usize {
+                    for r in lo..hi {
+                        if r % 2 != colour {
+                            continue;
+                        }
+                        for c in 0..N {
+                            let up = if r == 0 {
+                                0
+                            } else {
+                                grid.get(p, (r - 1) * N + c)
+                            };
+                            let down = if r + 1 == N {
+                                0
+                            } else {
+                                grid.get(p, (r + 1) * N + c)
+                            };
+                            grid.set(p, r * N + c, up / 2 + down / 2 + (it + colour) as u64);
+                        }
+                    }
+                    p.compute(SimTime::from_us(20));
+                    p.barrier();
+                }
+            }
+        })
+        .expect("perfect-scenario SOR run completes")
+    }
+    for protocol in [ProtocolKind::Mw, ProtocolKind::Wfs] {
+        let plain = run_sor(protocol, 9);
+        let short = run_sor_perfect(protocol, 3);
+        let long = run_sor_perfect(protocol, 9);
+        // The delivery layer adds no page-buffer demand at all: the
+        // perfect run's pool allocations equal the plain run's, and they
+        // go flat after warm-up.
+        assert_eq!(
+            long.report.proto.pool_pages_created, plain.proto.pool_pages_created,
+            "{protocol}: the perfect-scenario delivery layer allocated page buffers"
+        );
+        assert_eq!(
+            long.report.proto.pool_pages_created, short.report.proto.pool_pages_created,
+            "{protocol}: extra perfect-scenario iterations allocated page buffers"
+        );
+        // Zero deviations: nothing dropped, retransmitted, duplicated or
+        // waited for — and nothing journaled (the record stays an empty
+        // Vec, so recording itself allocates nothing).
+        let net = &long.report.net;
+        assert_eq!(
+            net.retransmissions(),
+            0,
+            "{protocol}: perfect run retransmitted"
+        );
+        assert_eq!(net.dropped_msgs(), 0);
+        assert_eq!(net.duplicate_msgs(), 0);
+        assert_eq!(net.timeout_waits(), 0);
+        assert!(
+            long.journal().expect("scenario runs record").is_empty(),
+            "{protocol}: perfect run journaled a deviation"
+        );
+    }
+}
+
 /// The pool's working set stays bounded by the live twin population
 /// instead of scaling with run length: created buffers are far fewer
 /// than the buffer demand (hits + misses).

@@ -71,4 +71,4 @@ mod threads;
 
 #[doc(hidden)]
 pub use sched::sched_pick_rounds;
-pub use sched::{Engine, EngineError, Task, TaskId};
+pub use sched::{Engine, EngineError, ParkHint, Task, TaskId};

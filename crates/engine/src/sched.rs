@@ -27,6 +27,47 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// What a task is about to park on — declared through
+/// [`Task::block_on`] so a deadlock report can say *why* each stuck
+/// task is stuck (a lost lock grant and a missing barrier arrival need
+/// very different debugging).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParkHint {
+    /// Blocked without further detail ([`Task::block`]).
+    #[default]
+    Unknown,
+    /// Waiting for the grant of the lock with this id.
+    Lock(u64),
+    /// Waiting for the barrier to complete.
+    Barrier,
+    /// Waiting for the page with this index to arrive.
+    Page(u64),
+}
+
+impl fmt::Display for ParkHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParkHint::Unknown => f.write_str("an unannounced wakeup"),
+            ParkHint::Lock(id) => write!(f, "lock {id}"),
+            ParkHint::Barrier => f.write_str("the barrier"),
+            ParkHint::Page(id) => write!(f, "page {id}"),
+        }
+    }
+}
+
+/// Formats the deadlock panic message: the classic headline (kept
+/// verbatim — `adsm-core` maps panics containing "blocked" to its
+/// `RunError::Deadlock`) followed by one clause per parked task.
+pub(crate) fn deadlock_message(parked: &[(TaskId, ParkHint)]) -> String {
+    use fmt::Write;
+    let mut msg = String::from("all simulated processors are blocked");
+    for (i, (id, hint)) in parked.iter().enumerate() {
+        msg.push_str(if i == 0 { ": " } else { "; " });
+        let _ = write!(msg, "task {id} waiting on {hint}");
+    }
+    msg
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Status {
     /// Wants to run; will be picked when its clock is minimal.
@@ -43,6 +84,8 @@ enum Status {
 struct Sched {
     clocks: Vec<u64>,
     status: Vec<Status>,
+    /// Why each Blocked task parked; only read on deadlock.
+    hints: Vec<ParkHint>,
     /// Number of `Status::Ready` entries, maintained on every status
     /// transition so the pick path never rebuilds a ready list.
     ready: usize,
@@ -131,6 +174,16 @@ impl Sched {
             .map(|(i, _)| (self.clocks[i], i))
             .min()
     }
+
+    /// Every Blocked task with its park hint — the deadlock report.
+    fn parked_tasks(&self) -> Vec<(TaskId, ParkHint)> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == Status::Blocked)
+            .map(|(i, _)| (i, self.hints[i]))
+            .collect()
+    }
 }
 
 struct Inner {
@@ -218,6 +271,7 @@ impl Engine {
                 sched: Mutex::new(Sched {
                     clocks: vec![0; ntasks],
                     status: vec![Status::Ready; ntasks],
+                    hints: vec![ParkHint::Unknown; ntasks],
                     ready: ntasks,
                     poisoned: false,
                     fuzz,
@@ -433,29 +487,46 @@ impl Task {
     /// runnable task, or with [`EngineError::Poisoned`] if the engine is
     /// poisoned while blocked.
     pub fn block(&mut self) {
+        self.block_on(ParkHint::Unknown);
+    }
+
+    /// [`Task::block`] with a declared reason: the hint is attached to
+    /// this task while it is parked, and a deadlock panic lists every
+    /// parked task with its hint — so a lost lock grant reads
+    /// "task 2 waiting on lock 5" instead of a bare headline.
+    ///
+    /// # Panics
+    ///
+    /// As [`Task::block`].
+    pub fn block_on(&mut self, hint: ParkHint) {
         let inner = match &self.backend {
             Backend::Sim(inner) => inner,
             Backend::Threads(th) => {
                 th.commit(self.id, self.local);
                 self.local = 0;
-                return th.block(self.id);
+                return th.block(self.id, hint);
             }
         };
         let mut s = inner.sched.lock();
         debug_assert_eq!(s.status[self.id], Status::Active, "block outside turn");
         s.clocks[self.id] += self.local;
         self.local = 0;
+        s.hints[self.id] = hint;
         s.set_status(self.id, Status::Blocked);
         if !s.pick_next() {
-            // Nothing runnable: deadlock. Poison so every waiter wakes.
+            // Nothing runnable: deadlock. pick_next has poisoned the
+            // engine, so every waiter wakes and unwinds; this task
+            // carries the detailed report out.
+            let msg = deadlock_message(&s.parked_tasks());
             inner.cv.notify_all();
-            panic!("{}", EngineError::Deadlock);
+            panic!("{msg}");
         }
         inner.cv.notify_all();
         while s.status[self.id] != Status::Active {
             Self::check_poison(&s);
             inner.cv.wait(&mut s);
         }
+        s.hints[self.id] = ParkHint::Unknown;
         Self::check_poison(&s);
     }
 
@@ -560,6 +631,7 @@ pub fn sched_pick_rounds(ntasks: usize, fuzz: Option<u64>, rounds: usize) -> u64
     let mut s = Sched {
         clocks: vec![0; ntasks],
         status: vec![Status::Ready; ntasks],
+        hints: vec![ParkHint::Unknown; ntasks],
         ready: ntasks,
         poisoned: false,
         fuzz,
@@ -701,6 +773,54 @@ mod tests {
             err.contains("blocked") || err.contains("poisoned"),
             "unexpected panic message: {err}"
         );
+    }
+
+    #[test]
+    fn deadlock_message_lists_parked_tasks_with_hints() {
+        assert_eq!(
+            deadlock_message(&[]),
+            "all simulated processors are blocked"
+        );
+        assert_eq!(
+            deadlock_message(&[(2, ParkHint::Lock(5))]),
+            "all simulated processors are blocked: task 2 waiting on lock 5"
+        );
+        assert_eq!(
+            deadlock_message(&[
+                (0, ParkHint::Lock(3)),
+                (1, ParkHint::Barrier),
+                (4, ParkHint::Page(17)),
+                (7, ParkHint::Unknown),
+            ]),
+            "all simulated processors are blocked: \
+             task 0 waiting on lock 3; \
+             task 1 waiting on the barrier; \
+             task 4 waiting on page 17; \
+             task 7 waiting on an unannounced wakeup"
+        );
+    }
+
+    #[test]
+    fn deadlock_report_carries_park_hints() {
+        let err = run_tasks(2, |t| {
+            if t.id() == 0 {
+                t.block_on(ParkHint::Lock(9));
+            } else {
+                t.advance(SimTime::from_us(10));
+                t.yield_turn();
+                t.block_on(ParkHint::Barrier);
+            }
+        })
+        .unwrap_err();
+        // The task that detects the deadlock reports both parked tasks;
+        // the other unwinds with the poison echo.
+        assert!(
+            err.contains("task 0 waiting on lock 9") || err.contains("poisoned"),
+            "unexpected panic message: {err}"
+        );
+        if err.contains("task 0") {
+            assert!(err.contains("task 1 waiting on the barrier"), "{err}");
+        }
     }
 
     #[test]

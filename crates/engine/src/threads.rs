@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use adsm_netsim::SimTime;
 use parking_lot::{Condvar, Mutex};
 
-use crate::sched::EngineError;
+use crate::sched::{deadlock_message, EngineError, ParkHint};
 
 /// No failure; tasks run freely.
 const HEALTHY: u8 = 0;
@@ -45,9 +45,19 @@ struct Slots {
     parked: Vec<bool>,
     /// Task returned from its program.
     done: Vec<bool>,
+    /// Why each parked task parked; only read on deadlock.
+    hints: Vec<ParkHint>,
 }
 
 impl Slots {
+    /// Every parked unfinished task with its hint — the deadlock report.
+    fn parked_tasks(&self) -> Vec<(usize, ParkHint)> {
+        (0..self.done.len())
+            .filter(|&i| !self.done[i] && self.parked[i])
+            .map(|i| (i, self.hints[i]))
+            .collect()
+    }
+
     /// True when no task can ever make progress again: every unfinished
     /// task is parked with no permit pending.
     fn deadlocked(&self) -> bool {
@@ -72,6 +82,11 @@ pub(crate) struct Inner {
     /// promptly, exactly like the simulator's per-turn poison check.
     health: AtomicU8,
     slots: Mutex<Slots>,
+    /// The formatted deadlock report, written by the detecting task just
+    /// before it flips `health` to [`DEADLOCKED`], so tasks unwinding
+    /// from [`Inner::check_health`] repeat the same detailed message.
+    /// Lock order: `slots` before `deadlock_detail`, everywhere.
+    deadlock_detail: Mutex<String>,
     /// One wake channel per task; `notify_all` because the shim's
     /// parker is collision-broadcast anyway.
     cvs: Vec<Condvar>,
@@ -86,7 +101,9 @@ impl Inner {
                 permits: vec![false; ntasks],
                 parked: vec![false; ntasks],
                 done: vec![false; ntasks],
+                hints: vec![ParkHint::Unknown; ntasks],
             }),
+            deadlock_detail: Mutex::new(String::new()),
             cvs: (0..ntasks).map(|_| Condvar::new()).collect(),
         }
     }
@@ -112,7 +129,13 @@ impl Inner {
     pub(crate) fn check_health(&self) {
         match self.health.load(Ordering::Acquire) {
             HEALTHY => {}
-            DEADLOCKED => panic!("{}", EngineError::Deadlock),
+            DEADLOCKED => {
+                let msg = self.deadlock_detail.lock().clone();
+                if msg.is_empty() {
+                    panic!("{}", EngineError::Deadlock);
+                }
+                panic!("{msg}");
+            }
             _ => panic!("{}", EngineError::Poisoned),
         }
     }
@@ -121,7 +144,7 @@ impl Inner {
     /// Panics [`EngineError::Deadlock`] if parking leaves the cluster
     /// unable to progress, [`EngineError::Poisoned`] if poisoned while
     /// parked.
-    pub(crate) fn block(&self, id: usize) {
+    pub(crate) fn block(&self, id: usize, hint: ParkHint) {
         let mut s = self.slots.lock();
         self.check_health();
         if s.permits[id] {
@@ -130,18 +153,22 @@ impl Inner {
             return;
         }
         s.parked[id] = true;
+        s.hints[id] = hint;
         if s.deadlocked() {
+            let msg = deadlock_message(&s.parked_tasks());
             s.parked[id] = false;
+            *self.deadlock_detail.lock() = msg.clone();
             self.health.store(DEADLOCKED, Ordering::Release);
             for cv in &self.cvs {
                 cv.notify_all();
             }
-            panic!("{}", EngineError::Deadlock);
+            panic!("{msg}");
         }
         while !s.permits[id] && self.health.load(Ordering::Acquire) == HEALTHY {
             self.cvs[id].wait(&mut s);
         }
         s.parked[id] = false;
+        s.hints[id] = ParkHint::Unknown;
         self.check_health();
         s.permits[id] = false;
     }

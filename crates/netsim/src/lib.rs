@@ -17,11 +17,17 @@
 //! derived from virtual time, which makes every run deterministic.
 
 mod cost;
+mod delivery;
+mod replay;
+pub mod scenario;
 mod stats;
 mod time;
 mod trace;
 
 pub use cost::CostModel;
+pub use delivery::{Delivery, DeliveryOutcome};
+pub use replay::{DeliveryJournal, JournalEvent};
+pub use scenario::{Fault, FaultKind, LinkProfile, RetryPolicy, Scenario, ScenarioParseError};
 pub use stats::{MsgKind, NetStats, MSG_HEADER_BYTES};
 pub use time::SimTime;
 pub use trace::{Trace, TraceKind, TracePoint};

@@ -1,0 +1,255 @@
+//! Record/replay journal for chaos runs.
+//!
+//! While a chaotic scenario is active, every message whose fate deviates
+//! from clean delivery (a drop, a duplicate, extra delay, a fault stall)
+//! is appended to a [`DeliveryJournal`]. Messages delivered cleanly are
+//! implicit — they are identified by their per-link sequence number, so
+//! the journal stays proportional to the number of *deviations*, not the
+//! number of messages.
+//!
+//! A journal alone is enough to replay the run bit-identically: replay
+//! mode never consults the scenario's PRNG, it just re-applies the
+//! recorded fates in per-link sequence order.
+
+use crate::scenario::ScenarioParseError;
+use crate::{MsgKind, SimTime};
+use std::fmt;
+
+/// One recorded deviation: what happened to message `seq` on the
+/// `src -> dst` link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Sending processor.
+    pub src: u32,
+    /// Receiving processor.
+    pub dst: u32,
+    /// Per-link message sequence number (0-based; counts every message
+    /// sent on this link while chaos was active).
+    pub seq: u64,
+    /// Message kind, kept for divergence detection on replay.
+    pub kind: MsgKind,
+    /// Transmissions lost before the message got through; each one cost
+    /// the sender a timeout and a retransmission.
+    pub drops: u32,
+    /// Total timeout time the sender spent waiting across those drops.
+    pub wait: SimTime,
+    /// Extra delivery latency beyond the base message cost (jitter,
+    /// reorder overtaking, fault stalls).
+    pub delay: SimTime,
+    /// Whether the receiver saw a second (suppressed) copy.
+    pub dup: bool,
+}
+
+/// A serialized chaos run: scenario identity plus every deviation, in
+/// the order the run produced them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryJournal {
+    /// Name of the scenario that produced the journal.
+    pub scenario: String,
+    /// Seed of that scenario.
+    pub seed: u64,
+    /// Deviations in record order (per-link seq is non-decreasing within
+    /// each link).
+    pub events: Vec<JournalEvent>,
+}
+
+impl DeliveryJournal {
+    /// An empty journal tagged with a scenario identity.
+    pub fn new(scenario: &str, seed: u64) -> Self {
+        DeliveryJournal {
+            scenario: scenario.to_string(),
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of recorded deviations.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the run had no deviations (a perfect-delivery run).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes to the canonical line-based text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("journal v1\n");
+        let _ = writeln!(out, "scenario {}", self.scenario);
+        let _ = writeln!(out, "seed {}", self.seed);
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "event src={} dst={} seq={} kind={} drops={} wait_ns={} delay_ns={} dup={}",
+                e.src,
+                e.dst,
+                e.seq,
+                e.kind.label(),
+                e.drops,
+                e.wait.as_ns(),
+                e.delay.as_ns(),
+                u8::from(e.dup)
+            );
+        }
+        let _ = writeln!(out, "end {}", self.events.len());
+        out
+    }
+
+    /// Parses the text format produced by [`DeliveryJournal::to_text`].
+    pub fn parse(text: &str) -> Result<DeliveryJournal, ScenarioParseError> {
+        let perr = |line: usize, reason: String| ScenarioParseError { line, reason };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some((_, "journal v1")) => {}
+            Some((n, l)) => return Err(perr(n, format!("expected 'journal v1', got '{l}'"))),
+            None => return Err(perr(0, "empty journal".to_string())),
+        }
+        let mut j = DeliveryJournal::default();
+        let mut ended = false;
+        for (n, line) in lines {
+            if ended {
+                return Err(perr(n, "content after 'end' line".to_string()));
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let get = |k: &str| -> Result<u64, ScenarioParseError> {
+                rest.split_ascii_whitespace()
+                    .find_map(|tok| tok.strip_prefix(k).and_then(|v| v.strip_prefix('=')))
+                    .ok_or_else(|| perr(n, format!("missing {k}=")))?
+                    .parse::<u64>()
+                    .map_err(|_| perr(n, format!("bad {k} value")))
+            };
+            match key {
+                "scenario" => j.scenario = rest.to_string(),
+                "seed" => {
+                    j.seed = rest
+                        .parse()
+                        .map_err(|_| perr(n, format!("bad seed '{rest}'")))?;
+                }
+                "event" => {
+                    let kind_label = rest
+                        .split_ascii_whitespace()
+                        .find_map(|tok| tok.strip_prefix("kind="))
+                        .ok_or_else(|| perr(n, "missing kind=".to_string()))?;
+                    let kind = MsgKind::from_label(kind_label)
+                        .ok_or_else(|| perr(n, format!("unknown kind '{kind_label}'")))?;
+                    j.events.push(JournalEvent {
+                        src: get("src")? as u32,
+                        dst: get("dst")? as u32,
+                        seq: get("seq")?,
+                        kind,
+                        drops: get("drops")? as u32,
+                        wait: SimTime::from_ns(get("wait_ns")?),
+                        delay: SimTime::from_ns(get("delay_ns")?),
+                        dup: get("dup")? != 0,
+                    });
+                }
+                "end" => {
+                    let count: usize = rest
+                        .parse()
+                        .map_err(|_| perr(n, format!("bad end count '{rest}'")))?;
+                    if count != j.events.len() {
+                        return Err(perr(
+                            n,
+                            format!("end says {count} events, parsed {}", j.events.len()),
+                        ));
+                    }
+                    ended = true;
+                }
+                other => return Err(perr(n, format!("unknown directive '{other}'"))),
+            }
+        }
+        if !ended {
+            return Err(perr(0, "journal missing 'end' line".to_string()));
+        }
+        Ok(j)
+    }
+}
+
+impl fmt::Display for DeliveryJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "journal of '{}' (seed {}): {} deviations",
+            self.scenario,
+            self.seed,
+            self.events.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeliveryJournal {
+        DeliveryJournal {
+            scenario: "lossy-1pct".to_string(),
+            seed: 42,
+            events: vec![
+                JournalEvent {
+                    src: 0,
+                    dst: 1,
+                    seq: 17,
+                    kind: MsgKind::PageRequest,
+                    drops: 2,
+                    wait: SimTime::from_ms(6),
+                    delay: SimTime::from_ns(123),
+                    dup: false,
+                },
+                JournalEvent {
+                    src: 3,
+                    dst: 0,
+                    seq: 4,
+                    kind: MsgKind::LockGrant,
+                    drops: 0,
+                    wait: SimTime::ZERO,
+                    delay: SimTime::ZERO,
+                    dup: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let j = sample();
+        let text = j.to_text();
+        assert_eq!(DeliveryJournal::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let j = DeliveryJournal::new("perfect", 1);
+        assert!(j.is_empty());
+        assert_eq!(DeliveryJournal::parse(&j.to_text()).unwrap(), j);
+    }
+
+    #[test]
+    fn end_count_mismatch_rejected() {
+        let mut text = sample().to_text();
+        text = text.replace("end 2", "end 3");
+        assert!(DeliveryJournal::parse(&text).is_err());
+    }
+
+    #[test]
+    fn truncated_journal_rejected() {
+        let text = sample().to_text();
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(DeliveryJournal::parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let text = sample()
+            .to_text()
+            .replace("kind=page-req", "kind=warp-drive");
+        assert!(DeliveryJournal::parse(&text).is_err());
+    }
+}

@@ -78,6 +78,11 @@ impl MsgKind {
             .expect("kind in ALL")
     }
 
+    /// Inverse of [`MsgKind::label`], for parsing journals.
+    pub fn from_label(label: &str) -> Option<MsgKind> {
+        MsgKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
+
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -132,6 +137,11 @@ impl fmt::Display for MsgKind {
 pub struct NetStats {
     msgs: [u64; MsgKind::ALL.len()],
     bytes: [u64; MsgKind::ALL.len()],
+    /// Chaos-delivery counters (all zero on a perfect network).
+    retransmissions: u64,
+    dropped_msgs: u64,
+    duplicate_msgs: u64,
+    timeout_waits: u64,
 }
 
 impl NetStats {
@@ -173,12 +183,56 @@ impl NetStats {
         self.messages(MsgKind::OwnershipRequest)
     }
 
+    /// Messages re-sent after a retransmission timeout.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Transmissions lost in flight (each triggers a timeout + resend).
+    pub fn dropped_msgs(&self) -> u64 {
+        self.dropped_msgs
+    }
+
+    /// Duplicate copies suppressed at the receiver (idempotent receive).
+    pub fn duplicate_msgs(&self) -> u64 {
+        self.duplicate_msgs
+    }
+
+    /// Retransmission-timeout expirations the senders sat through.
+    pub fn timeout_waits(&self) -> u64 {
+        self.timeout_waits
+    }
+
+    /// Counts one retransmission (delivery layer only).
+    pub fn note_retransmission(&mut self) {
+        self.retransmissions += 1;
+    }
+
+    /// Counts one in-flight loss (delivery layer only).
+    pub fn note_drop(&mut self) {
+        self.dropped_msgs += 1;
+    }
+
+    /// Counts one suppressed duplicate (delivery layer only).
+    pub fn note_duplicate(&mut self) {
+        self.duplicate_msgs += 1;
+    }
+
+    /// Counts one timeout wait (delivery layer only).
+    pub fn note_timeout_wait(&mut self) {
+        self.timeout_waits += 1;
+    }
+
     /// Merges another statistics object into this one.
     pub fn merge(&mut self, other: &NetStats) {
         for i in 0..MsgKind::ALL.len() {
             self.msgs[i] += other.msgs[i];
             self.bytes[i] += other.bytes[i];
         }
+        self.retransmissions += other.retransmissions;
+        self.dropped_msgs += other.dropped_msgs;
+        self.duplicate_msgs += other.duplicate_msgs;
+        self.timeout_waits += other.timeout_waits;
     }
 
     /// Iterates over `(kind, messages, bytes)` triples with nonzero

@@ -12,7 +12,7 @@
 //!
 //! and paste the printed table over `GOLDEN`.
 
-use adsm::{run_app, App, ProtocolKind, RunReport, Scale};
+use adsm::{run_app, run_app_tuned, App, ProtocolKind, RunOptions, RunReport, Scale, Scenario};
 
 /// Protocols covered by the digest: the four evaluated protocols plus
 /// the two related-work comparators.
@@ -406,6 +406,37 @@ fn refactor_reproduces_presplit_outcomes_exactly() {
             got, expect,
             "{app} under {proto}: outcome digest diverged from the \
              pre-refactor golden capture"
+        );
+    }
+}
+
+/// Chaos-scenario guard: attaching an explicit all-zero-rates
+/// [`Scenario`] must be invisible — the delivery layer's fast path has
+/// to reproduce every golden digest byte-for-byte, with an empty
+/// journal. This pins the "fault-free scenarios are a no-op" property
+/// across all 48 app x protocol combinations.
+#[test]
+fn perfect_scenario_reproduces_golden_digests() {
+    for &(app, proto, expect) in GOLDEN {
+        let opts = RunOptions {
+            scenario: Some(Scenario::perfect()),
+            ..RunOptions::default()
+        };
+        let run = run_app_tuned(app, proto, procs_for(app), Scale::Tiny, &opts);
+        assert!(run.ok, "{app} under {proto}: {}", run.detail);
+        assert_eq!(
+            digest(&run.outcome.report),
+            expect,
+            "{app} under {proto}: a perfect scenario changed the outcome digest"
+        );
+        let journal = run
+            .outcome
+            .journal()
+            .expect("scenario runs record a journal");
+        assert!(
+            journal.is_empty(),
+            "{app} under {proto}: perfect scenario journaled {} deviations",
+            journal.len()
         );
     }
 }
