@@ -58,6 +58,13 @@ impl BarnesParams {
                 seed: 0xBA_121,
                 ns_per_interaction: 8_000,
             },
+            // Four bodies per processor at 256-way.
+            Scale::Large => BarnesParams {
+                nbodies: 1024,
+                steps: 2,
+                seed: 0xBA_121,
+                ns_per_interaction: 250,
+            },
         }
     }
 }

@@ -52,6 +52,14 @@ impl FftParams {
                 iters: 6,
                 ns_per_op: 5_000,
             },
+            // 16^3: plane bands thin out past 16 processors (extras
+            // idle through the barriers), which is the interesting
+            // regime for barrier-cost scaling.
+            Scale::Large => FftParams {
+                n: 16,
+                iters: 2,
+                ns_per_op: 120,
+            },
         }
     }
 }

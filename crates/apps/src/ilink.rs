@@ -69,6 +69,16 @@ impl IlinkParams {
                 seed: 0x111_417,
                 ns_per_nnz: 20_000_000,
             },
+            // A wide slot pool (32 pages per genarray) so 64+
+            // processors all own slot bands, at tiny-scale compute.
+            Scale::Large => IlinkParams {
+                narrays: 4,
+                slots: 16384,
+                nnz_per_page: 2.0,
+                iters: 3,
+                seed: 0x111_417,
+                ns_per_nnz: 800,
+            },
         }
     }
 

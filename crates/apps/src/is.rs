@@ -58,6 +58,15 @@ impl IsParams {
                 ns_per_key: 4_000,
                 seed: 0x15_0001,
             },
+            // 2^14 keys: 64 keys per processor at 256-way, with
+            // tiny-scale modelled compute.
+            Scale::Large => IsParams {
+                log_keys: 14,
+                log_buckets: 10,
+                iters: 3,
+                ns_per_key: 40,
+                seed: 0x15_0001,
+            },
         }
     }
 

@@ -168,6 +168,11 @@ pub enum Scale {
     Tiny,
     /// Closest practical approximation of the paper's inputs.
     Paper,
+    /// High-processor-count inputs: sized so every processor of a
+    /// 64–256-way run owns work (grids with ≥ 256 bandable units),
+    /// with tiny-style modelled compute so scale sweeps stay inside a
+    /// CI budget.
+    Large,
 }
 
 impl fmt::Display for Scale {
@@ -176,6 +181,7 @@ impl fmt::Display for Scale {
             Scale::Tiny => "tiny",
             Scale::Small => "small",
             Scale::Paper => "paper",
+            Scale::Large => "large",
         };
         f.write_str(s)
     }

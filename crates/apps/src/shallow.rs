@@ -55,6 +55,14 @@ impl ShallowParams {
                 steps: 20,
                 ns_per_elem: 10_000,
             },
+            // One row band per processor at 256-way, staggered rows
+            // kept from the paper layout.
+            Scale::Large => ShallowParams {
+                m: 256,
+                n: 64,
+                steps: 3,
+                ns_per_elem: 600,
+            },
         }
     }
 

@@ -57,6 +57,14 @@ impl SorParams {
                 iters: 60,
                 ns_per_elem: 2_000,
             },
+            // 256 interior rows: one page-aligned band row per
+            // processor at the largest sweep point.
+            Scale::Large => SorParams {
+                rows: 258,
+                cols: 512,
+                iters: 4,
+                ns_per_elem: 400,
+            },
         }
     }
 }

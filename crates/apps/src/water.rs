@@ -67,6 +67,13 @@ impl WaterParams {
                 seed: 0xAA_7E4,
                 ns_per_pair: 60_000,
             },
+            // Two molecules per processor at 256-way.
+            Scale::Large => WaterParams {
+                nmol: 512,
+                steps: 2,
+                seed: 0xAA_7E4,
+                ns_per_pair: 300,
+            },
         }
     }
 }

@@ -2,21 +2,24 @@
 //! evaluation section, plus the beyond-the-paper comparisons.
 //!
 //! ```text
-//! repro [targets] [--scale tiny|small|paper] [--nprocs N] [--apps a,b,..]
+//! repro [targets] [--scale tiny|small|paper|large] [--nprocs N] [--apps a,b,..]
 //!       [--backend sim|threads|both] [--smoke] [--check]
 //!
 //! targets: table1 table2 table3 table4 fig1 fig2 fig3 all  (default: all)
 //!          related ablation-quantum ablation-wg ablation-gc
 //!          ablation-migratory ablation-policies ablations
 //!          bench-hotpaths    (also writes BENCH_hotpaths.json)
-//!          bench-throughput  (also writes BENCH_throughput.json)
+//!          bench-throughput  (also writes BENCH_throughput.json;
+//!                             with --scale large: the 8..256-proc
+//!                             barrier fan-in sweep, BENCH_scale.json)
 //!          scenarios         (also writes BENCH_scenarios.json)
 //!
 //! --backend  execution backend(s) for bench-throughput: the
 //!          deterministic simulator, real OS threads, or both
 //!          (default: both — the JSON carries the sim columns plus the
 //!          `@threads` comparison columns)
-//! --smoke  CI-budget runs: bench-throughput at tiny scale / 4 procs;
+//! --smoke  CI-budget runs: bench-throughput at tiny scale / 4 procs
+//!          (at --scale large: the sweep shrinks to 8/64 procs);
 //!          scenarios on a reduced app x scenario grid (2 apps, 3
 //!          corpus scenarios) at tiny scale / 4 procs
 //! --check  fail (exit 1) when a benchmark regresses past the seed
@@ -24,7 +27,9 @@
 //!          clones, merge speedup, pool copy ratio; for
 //!          bench-throughput also the clone/skip invariants, the
 //!          presence of every requested backend's rows and, at smoke
-//!          settings, the sim-row barrier fan-in ceiling; for
+//!          settings, the sim-row barrier fan-in ceiling; for the
+//!          --scale large sweep the sub-linear fan-in growth gate
+//!          (64-proc p50 < 4x the 8-proc p50, per backend); for
 //!          scenarios the verification, replay-identity and
 //!          fault-free-baseline gates of every cell)
 //! ```
@@ -70,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
                     Some("tiny") => Scale::Tiny,
                     Some("small") => Scale::Small,
                     Some("paper") => Scale::Paper,
+                    Some("large") => Scale::Large,
                     other => return Err(format!("bad --scale {other:?}")),
                 };
             }
@@ -107,7 +113,7 @@ fn parse_args() -> Result<Options, String> {
                      \x20       ablation-migratory ablation-policies ablations\n\
                      \x20       bench-hotpaths\n\
                      \x20       bench-throughput scenarios]\n\
-                     \x20      [--scale tiny|small|paper] [--nprocs N] [--apps SOR,IS,...]\n\
+                     \x20      [--scale tiny|small|paper|large] [--nprocs N] [--apps SOR,IS,...]\n\
                      \x20      [--backend sim|threads|both] [--smoke] [--check]"
                 );
                 std::process::exit(0);
@@ -285,11 +291,56 @@ fn main() -> ExitCode {
         }
     }
 
+    // Processor-count scale sweep: `bench-throughput --scale large`
+    // swaps the protocol matrix for the high-P sweep — SOR and IS under
+    // MW at 8/64/128/256 processors (`--smoke`: 8/64) on every
+    // requested backend, gating sub-linear growth of the per-arrival
+    // barrier fan-in cost (64-proc p50 < 4x the 8-proc p50) under
+    // `--check`. Writes BENCH_scale.json.
+    if opts.targets.iter().any(|t| t == "bench-throughput") && opts.scale == Scale::Large {
+        let proc_counts: &[usize] = if opts.smoke {
+            &adsm_bench::scale::SCALE_PROCS_SMOKE
+        } else {
+            &adsm_bench::scale::SCALE_PROCS
+        };
+        let apps = [App::Sor, App::Is];
+        eprintln!(
+            "measuring barrier fan-in scaling ({} apps x [{}] procs x {} backends, large \
+             scale)...",
+            apps.len(),
+            proc_counts
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            opts.backends.len()
+        );
+        let report = adsm_bench::measure_scale(proc_counts, &apps, &opts.backends);
+        println!("{}", adsm_bench::scale::summary_table(&report));
+        let json = report.to_json();
+        match std::fs::write("BENCH_scale.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_scale.json"),
+            Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
+        }
+        if opts.check {
+            let fails = report.failures();
+            if !fails.is_empty() {
+                for f in &fails {
+                    eprintln!("REGRESSION: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "scale gate: pass (fan-in p50 growth 8 -> 64 procs sub-linear on every backend)"
+            );
+        }
+    }
+
     // End-to-end throughput matrix: every app under the four evaluated
     // protocols, in simulated-events-per-wall-second terms, plus
     // validate_page percentiles and barrier fan-in cost. `--smoke`
     // shrinks it to the CI budget (tiny inputs, 4 procs).
-    if opts.targets.iter().any(|t| t == "bench-throughput") {
+    if opts.targets.iter().any(|t| t == "bench-throughput") && opts.scale != Scale::Large {
         let (scale, nprocs) = if opts.smoke {
             (Scale::Tiny, 4)
         } else {

@@ -22,6 +22,7 @@ use adsm_core::{ProtocolKind, SimTime};
 mod ablation;
 pub mod alloc_count;
 pub mod hotpaths;
+pub mod scale;
 pub mod scenarios;
 pub mod throughput;
 
@@ -30,6 +31,7 @@ pub use ablation::{
     ablation_quantum, ablation_wg, related, scaling, sensitivity,
 };
 pub use hotpaths::{measure_hotpaths, HotpathReport};
+pub use scale::{measure_scale, ScaleReport};
 pub use scenarios::{measure_scenarios, ScenarioCell, ScenarioReport};
 pub use throughput::{measure_throughput, ThroughputReport};
 

@@ -125,10 +125,17 @@ pub struct ProtocolStats {
     /// [`measure_host_costs`](crate::DsmBuilder::measure_host_costs) is
     /// on; drives the percentiles in `repro bench-throughput`.
     pub validate_wall: NsHistogram,
-    /// Host wall-clock cost of barrier completion (fan-in: global
-    /// notice integration, adaptation mechanism 3, GC). Gated like
-    /// `validate_wall`.
+    /// Host wall-clock cost of barrier completion (tree
+    /// reconciliation, per-processor fan-down, adaptation mechanism 3,
+    /// GC). Gated like `validate_wall`.
     pub barrier_wall: NsHistogram,
+    /// Host wall-clock cost of one barrier **arrival**'s share of the
+    /// combining-tree fan-in: its leaf contribution plus every
+    /// pairwise combine the arrival enabled (at most one tree node per
+    /// level, so samples grow O(log P) with the processor count — the
+    /// scaling gate of `repro bench-throughput --scale large`). One
+    /// sample per arrival; gated like `validate_wall`.
+    pub barrier_fanin_wall: NsHistogram,
 }
 
 impl ProtocolStats {
@@ -248,6 +255,22 @@ impl NsHistogram {
     /// Largest recorded sample.
     pub fn max_ns(&self) -> u64 {
         self.max_ns
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum): the
+    /// aggregation the scale sweep uses to combine per-run fan-in
+    /// histograms into one distribution per (proc count, backend)
+    /// point before taking percentiles.
+    pub fn merge(&mut self, other: &NsHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
     }
 
     /// The value at quantile `q` in [0, 1], to bucket resolution

@@ -43,7 +43,7 @@ pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     } else {
         lrc::validate_page(ctx, p, page);
     }
-    ctx.w.pages[pgidx].last_read_faulter = Some(p);
+    ctx.w.dir[pgidx].last_read_faulter = Some(p);
 }
 
 /// A migratory read-grant applies when the policy judges the pattern
@@ -52,7 +52,7 @@ pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 /// (otherwise the exchange would be refused), and both sides handle the
 /// page in SW mode.
 fn migratory_grant_eligible(ctx: &Ctx<'_>, p: ProcId, page: PageId) -> bool {
-    let pg = &ctx.w.pages[page.index()];
+    let pg = &ctx.w.dir[page.index()];
     let pc = &ctx.w.procs[p.index()].pages[page.index()];
     if !ctx
         .w
@@ -74,7 +74,7 @@ fn migratory_grant_eligible(ctx: &Ctx<'_>, p: ProcId, page: PageId) -> bool {
 /// that follows (this is what "migratory" means) needs no messages.
 fn migrate_on_read(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pgidx = page.index();
-    let q = ctx.w.pages[pgidx].owner.expect("eligibility checked");
+    let q = ctx.w.dir[pgidx].owner.expect("eligibility checked");
     let cost_model = ctx.w.cfg.cost.clone();
 
     let now = ctx.now();
@@ -93,11 +93,11 @@ fn migrate_on_read(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     install_merged_copy(ctx, p, q, page);
 
-    let version = ctx.w.pages[pgidx].version + 1;
-    ctx.w.pages[pgidx].version = version;
-    ctx.w.pages[pgidx].owner = Some(p);
-    ctx.w.pages[pgidx].owner_since = ctx.now();
-    ctx.w.pages[pgidx].read_owned = true;
+    let version = ctx.w.dir[pgidx].version + 1;
+    ctx.w.dir[pgidx].version = version;
+    ctx.w.dir[pgidx].owner = Some(p);
+    ctx.w.dir[pgidx].owner_since = ctx.now();
+    ctx.w.dir[pgidx].read_owned = true;
     ctx.w.proto.migratory_grants += 1;
 
     ctx.mems[q.index()]
@@ -114,7 +114,7 @@ fn migrate_on_read(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
 fn sw_mode_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pgidx = page.index();
-    if ctx.w.pages[pgidx].owner == Some(p) {
+    if ctx.w.dir[pgidx].owner == Some(p) {
         sw::soft_write_fault(ctx, p, page);
         return;
     }
@@ -141,7 +141,7 @@ fn sw_mode_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 
     // Authoritative check at the target (§3.1.1): still owner, version
     // unchanged, not already committed to dropping.
-    let pg = &ctx.w.pages[pgidx];
+    let pg = &ctx.w.dir[pgidx];
     let version_ok = pg.version == v && !pg.drop_pending;
     let target_is_owner = pg.owner == Some(q);
     // Bootstrap after false sharing ceased (§3.1.2): ownership lapsed but
@@ -155,7 +155,7 @@ fn sw_mode_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // Policy gate (WFS+WG's write-granularity test, §3.3): ownership is
     // only granted while the policy judges the page worth SW handling;
     // otherwise refuse so the page is handled (and measured) in MW mode.
-    let wg_ok = ctx.w.policy.grant_sw_ok(pgidx, ctx.w.pages[pgidx].wants_sw);
+    let wg_ok = ctx.w.policy.grant_sw_ok(pgidx, ctx.w.dir[pgidx].wants_sw);
 
     let granted = version_ok && wg_ok && (target_is_owner || can_bootstrap);
 
@@ -200,11 +200,11 @@ fn grant_ownership(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: PageId, c_req:
     }
 
     // Transfer ownership, bump version.
-    let version = ctx.w.pages[pgidx].version + 1;
-    ctx.w.pages[pgidx].version = version;
-    ctx.w.pages[pgidx].owner = Some(p);
-    ctx.w.pages[pgidx].owner_since = ctx.now();
-    ctx.w.pages[pgidx].copyset[p.index()] = true;
+    let version = ctx.w.dir[pgidx].version + 1;
+    ctx.w.dir[pgidx].version = version;
+    ctx.w.dir[pgidx].owner = Some(p);
+    ctx.w.dir[pgidx].owner_since = ctx.now();
+    ctx.w.dir[pgidx].copyset[p.index()] = true;
     ctx.w.proto.ownership_grants += 1;
     if needs_page {
         ctx.w.proto.pages_transferred += 1;
@@ -224,7 +224,7 @@ fn grant_ownership(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: PageId, c_req:
     // §7 migratory detection: a read miss followed by the same
     // processor's ownership acquisition is the migratory signature; an
     // owner that acquired on a read but never wrote was a misprediction.
-    let pg = &mut ctx.w.pages[pgidx];
+    let pg = &mut ctx.w.dir[pgidx];
     if pg.read_owned {
         pg.migratory_score = 0;
     }
@@ -263,8 +263,8 @@ fn refuse_ownership(
 
     if target_still_owner {
         // A refusal invalidates any migratory prediction for the page.
-        ctx.w.pages[page.index()].migratory_score = 0;
-        ctx.w.pages[page.index()].read_owned = false;
+        ctx.w.dir[page.index()].migratory_score = 0;
+        ctx.w.dir[page.index()].read_owned = false;
         // The owner has seen sharing: it must fall to MW mode. If it has
         // uncommitted writes it keeps ownership until its next release
         // (it has no twin, so it cannot diff yet — §3.1.1) and drops
@@ -272,9 +272,9 @@ fn refuse_ownership(
         // notice already covers its writes and it can drop immediately.
         let q_dirty = ctx.w.procs[q.index()].pages[page.index()].dirty;
         if q_dirty {
-            ctx.w.pages[page.index()].drop_pending = true;
+            ctx.w.dir[page.index()].drop_pending = true;
         } else {
-            ctx.w.pages[page.index()].owner = None;
+            ctx.w.dir[page.index()].owner = None;
             let qc = &mut ctx.w.procs[q.index()].pages[page.index()];
             if qc.mode != PageMode::Mw {
                 qc.mode = PageMode::Mw;
@@ -342,7 +342,7 @@ fn install_merged_copy(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: PageId) {
     let pc = &mut ctx.w.procs[pidx].pages[page.index()];
     pc.missing.retain(|n| !bound.covers(n.interval));
     pc.has_copy = true;
-    ctx.w.pages[page.index()].copyset[pidx] = true;
+    ctx.w.dir[page.index()].copyset[pidx] = true;
 
     // Apply whatever survives (concurrent diffs), with messages.
     let leftovers = !ctx.w.procs[pidx].pages[page.index()].missing.is_empty();

@@ -42,7 +42,7 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
     // Pages that have outstanding diffs anywhere.
     let mut pages: Vec<PageId> = Vec::new();
     for q in 0..nprocs {
-        pages.extend(ctx.w.procs[q].diffs.pages());
+        pages.extend(ctx.w.dir.diff_pages(ProcId::new(q)));
     }
     pages.sort_unstable();
     pages.dedup();
@@ -51,8 +51,8 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
         let pgidx = page.index();
         // Writers: processors holding diffs for the page.
         let writers: Vec<ProcId> = (0..nprocs)
-            .filter(|&q| ctx.w.procs[q].diffs.has_page(page))
             .map(ProcId::new)
+            .filter(|&q| ctx.w.dir.has_diffs(q, page))
             .collect();
 
         // Per-page exit mode: the policy decides whether the page
@@ -83,7 +83,7 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
             debug_assert!(pc.twin.is_none(), "no open sessions during GC");
             pc.has_copy = false;
             pc.missing.clear();
-            ctx.w.pages[pgidx].copyset[q] = false;
+            ctx.w.dir[pgidx].copyset[q] = false;
             ctx.mems[q].lock().set_rights(page, AccessRights::None);
         }
 
@@ -92,19 +92,19 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
             // to locate an initial copy). The nominal owner's copy may
             // just have been deleted, so future initial fetches must
             // locate an actual copy holder.
-            ctx.w.pages[pgidx].owner = None;
+            ctx.w.dir[pgidx].owner = None;
         }
 
         if exit_sw {
             // The page leaves GC under SW handling: the validator is the
             // last owner; future misses fetch its copy (§3.1.1).
             let owner = validators[0];
-            let version = ctx.w.pages[pgidx].version + 1;
-            ctx.w.pages[pgidx].version = version;
-            ctx.w.pages[pgidx].owner = Some(owner);
-            ctx.w.pages[pgidx].owner_since = ctx.now();
-            ctx.w.pages[pgidx].drop_pending = false;
-            ctx.w.pages[pgidx].wants_sw = false;
+            let version = ctx.w.dir[pgidx].version + 1;
+            ctx.w.dir[pgidx].version = version;
+            ctx.w.dir[pgidx].owner = Some(owner);
+            ctx.w.dir[pgidx].owner_since = ctx.now();
+            ctx.w.dir[pgidx].drop_pending = false;
+            ctx.w.dir[pgidx].wants_sw = false;
             for q in 0..nprocs {
                 let pc = &mut ctx.w.procs[q].pages[pgidx];
                 if pc.mode == PageMode::Mw {
@@ -128,7 +128,7 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
     // are kept — they still order future merges).
     ctx.w.log.prune_writes();
     for q in 0..nprocs {
-        let (n, b) = ctx.w.procs[q].diffs.clear();
+        let (n, b) = ctx.w.dir.clear_proc_diffs(ProcId::new(q));
         ctx.w.proto.diffs_dropped(n, b);
         // Lazy diffing: retained twins whose diffs were never requested
         // are obsolete after validation (their writes live in the
@@ -159,7 +159,7 @@ pub(crate) fn collect(ctx: &mut Ctx<'_>) {
 /// otherwise (still concurrent) the writer with the causally-largest
 /// last interval, ties to the highest id — deterministic either way.
 fn choose_last_owner(ctx: &Ctx<'_>, page: PageId, writers: &[ProcId]) -> ProcId {
-    if let Some(owner) = ctx.w.pages[page.index()].owner {
+    if let Some(owner) = ctx.w.dir[page.index()].owner {
         return owner;
     }
     let last_writes: Vec<IntervalId> = ctx.w.profiler.last_writes(page);

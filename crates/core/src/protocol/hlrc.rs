@@ -64,7 +64,7 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             pc.dirty = true;
             ctx.w.procs[p.index()].dirty.push(page);
         }
-        ctx.w.pages[page.index()].copyset[p.index()] = true;
+        ctx.w.dir[page.index()].copyset[p.index()] = true;
         ctx.w.proto.soft_write_faults += 1;
     } else {
         mw::ensure_twin_and_write(ctx, p, page);
@@ -147,7 +147,7 @@ pub(crate) fn fetch_from_home(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pc = &mut ctx.w.procs[pidx].pages[pgidx];
     pc.missing.clear();
     pc.has_copy = true;
-    ctx.w.pages[pgidx].copyset[pidx] = true;
+    ctx.w.dir[pgidx].copyset[pidx] = true;
 }
 
 /// Flushes one interval-close diff to the page's home: the flush message
@@ -229,7 +229,7 @@ pub(crate) fn force_flush_page(
         w.proto.lazy_flush_encodes += 1;
         let modified = diff.modified_bytes();
         w.profiler.note_grain(modified);
-        w.pages[page.index()].last_diff_bytes = modified;
+        w.dir[page.index()].last_diff_bytes = modified;
         let writer = ProcId::new(q);
         let send = flush_diff_to_home(w, mems, writer, page, &diff, now);
         let encode = w.cfg.cost.diff_create(modified);

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use crate::metrics::ProtocolStats;
 use crate::notice::{CloseVc, IntervalRecord, NoticeKind, PendingNotice, WriteNotice};
 use crate::protocol::policy::AdaptPolicy;
-use crate::world::{KeyedDiff, PageGlobal, PageMode, ProcCtl, World};
+use crate::world::{Directory, KeyedDiff, PageMode, ProcCtl, World};
 use crate::{DsmConfig, ProtocolKind};
 
 /// Everything a protocol operation needs: the world, every processor's
@@ -133,9 +133,9 @@ pub(crate) fn close_interval(
         match mode {
             PageMode::Sw => {
                 // Owner write notice with the page's current version.
-                let version = w.pages[page.index()].version;
+                let version = w.dir[page.index()].version;
                 debug_assert_eq!(
-                    w.pages[page.index()].owner,
+                    w.dir[page.index()].owner,
                     Some(p),
                     "SW-dirty page {page} not owned by {p}"
                 );
@@ -152,9 +152,9 @@ pub(crate) fn close_interval(
                 // emit the final owner notice, then drop ownership and
                 // fall to MW mode (§3.1.1: the owner cannot drop at
                 // request time because it has no twin).
-                if w.pages[page.index()].drop_pending {
-                    w.pages[page.index()].drop_pending = false;
-                    w.pages[page.index()].owner = None;
+                if w.dir[page.index()].drop_pending {
+                    w.dir[page.index()].drop_pending = false;
+                    w.dir[page.index()].owner = None;
                     let pc = &mut w.procs[p.index()].pages[page.index()];
                     if pc.mode != PageMode::Mw {
                         pc.mode = PageMode::Mw;
@@ -202,7 +202,7 @@ pub(crate) fn close_interval(
                         cost += super::hlrc::flush_diff_to_home(w, mems, p, page, &diff, now);
                         w.profiler.note_grain(modified);
                         trace_diff = true;
-                        w.pages[page.index()].last_diff_bytes = modified;
+                        w.dir[page.index()].last_diff_bytes = modified;
                     }
                 }
                 writes.push(WriteNotice {
@@ -243,7 +243,7 @@ pub(crate) fn close_interval(
                         interval: id,
                         kind: NoticeKind::NonOwner,
                     });
-                if w.procs[p.index()].pending_bytes + w.procs[p.index()].diffs.bytes
+                if w.procs[p.index()].pending_bytes + w.dir.diff_bytes(p)
                     > w.cfg.cost.gc_threshold_bytes as u64
                 {
                     w.gc_requested = true;
@@ -277,17 +277,17 @@ pub(crate) fn close_interval(
                 }
                 cost += w.cfg.cost.diff_create(modified);
                 w.proto.diff_created(diff.wire_size());
-                w.procs[p.index()].diffs.insert(page, id, diff);
+                w.dir.insert_diff(p, page, id, diff);
                 w.profiler.note_grain(modified);
                 trace_diff = true;
 
-                w.pages[page.index()].last_diff_bytes = modified;
+                w.dir[page.index()].last_diff_bytes = modified;
                 // Write-granularity test (§3.2): the policy judges the
                 // diff size — under WFS+WG large diffs make the page a
                 // candidate for SW mode while small diffs keep it in MW
                 // mode; other policies leave the flag untouched.
-                let wants = w.pages[page.index()].wants_sw;
-                w.pages[page.index()].wants_sw = w.policy.wants_sw_after_close(
+                let wants = w.dir[page.index()].wants_sw;
+                w.dir[page.index()].wants_sw = w.policy.wants_sw_after_close(
                     page.index(),
                     modified,
                     w.cfg.cost.wg_threshold_bytes,
@@ -361,7 +361,7 @@ pub(crate) fn close_interval(
     if trace_diff {
         w.trace_event(now, TraceKind::DiffCreate);
     }
-    if w.procs[p.index()].diffs.bytes > w.cfg.cost.gc_threshold_bytes as u64 {
+    if w.dir.diff_bytes(p) > w.cfg.cost.gc_threshold_bytes as u64 {
         w.gc_requested = true;
     }
     let _ = nprocs;
@@ -397,10 +397,10 @@ pub(crate) fn materialize_pending(
     w.proto.twin_dropped(PAGE_SIZE);
     let modified = diff.modified_bytes();
     w.profiler.note_grain(modified);
-    w.pages[pgidx].last_diff_bytes = modified;
+    w.dir[pgidx].last_diff_bytes = modified;
     w.proto.diff_created(diff.wire_size());
-    w.procs[q.index()].diffs.insert(page, pend.interval, diff);
-    if w.procs[q.index()].diffs.bytes > w.cfg.cost.gc_threshold_bytes as u64 {
+    w.dir.insert_diff(q, page, pend.interval, diff);
+    if w.dir.diff_bytes(q) > w.cfg.cost.gc_threshold_bytes as u64 {
         w.gc_requested = true;
     }
     w.cfg.cost.diff_create(modified)
@@ -433,7 +433,7 @@ pub(crate) fn integrate_from(
         let World {
             log,
             procs,
-            pages,
+            dir,
             cfg,
             policy,
             proto,
@@ -455,7 +455,7 @@ pub(crate) fn integrate_from(
                 bytes += rec.wire_size();
                 ship_record_to(
                     procs,
-                    pages,
+                    dir,
                     cfg,
                     policy,
                     proto,
@@ -470,7 +470,7 @@ pub(crate) fn integrate_from(
         drop(mem);
 
         if adaptive {
-            promote_on_owner_notices(procs, pages, policy, proto, p, &mut owner_pages);
+            promote_on_owner_notices(procs, dir, policy, proto, p, &mut owner_pages);
         }
         procs[p.index()].vc.merge(src_vc);
     }
@@ -479,15 +479,18 @@ pub(crate) fn integrate_from(
     bytes
 }
 
-/// The batched barrier fan-in's per-processor integration: applies to
-/// `p` every record of the barrier's notice frontier that `p` has not
-/// covered, in the same (writer, seq) order the pair-wise
-/// [`integrate_from`] would walk, and merges the global clock. The
-/// frontier was collected in **one** sweep of the shared log
-/// (`sync::barrier_arrive`), so barrier completion costs one log pass
-/// plus the per-processor record applications — instead of one full
-/// pair-wise range scan per departing processor. Returns the payload
-/// size of the records shipped to `p` (its release-broadcast payload).
+/// The flat batched barrier fan-in's per-processor integration: applies
+/// to `p` every record of the barrier's notice frontier that `p` has
+/// not covered, in the same (writer, seq) order the pair-wise
+/// [`integrate_from`] would walk, and merges the global clock. Returns
+/// the payload size of the records shipped to `p` (its
+/// release-broadcast payload).
+///
+/// Retained as the **oracle** for the combining-tree fan-down
+/// ([`integrate_frontier_slices`]): the tree≡flat equivalence tests
+/// pin the slice walk's record sequences and shipped bytes to this
+/// coverage filter over random interval logs.
+#[allow(dead_code)]
 pub(crate) fn integrate_frontier(
     w: &mut World,
     mems: &[Mutex<PagedMemory>],
@@ -501,7 +504,7 @@ pub(crate) fn integrate_frontier(
         let World {
             log,
             procs,
-            pages,
+            dir,
             cfg,
             policy,
             proto,
@@ -523,7 +526,7 @@ pub(crate) fn integrate_frontier(
             bytes += rec.wire_size();
             ship_record_to(
                 procs,
-                pages,
+                dir,
                 cfg,
                 policy,
                 proto,
@@ -537,7 +540,92 @@ pub(crate) fn integrate_frontier(
         drop(mem);
 
         if adaptive {
-            promote_on_owner_notices(procs, pages, policy, proto, p, &mut owner_pages);
+            promote_on_owner_notices(procs, dir, policy, proto, p, &mut owner_pages);
+        }
+        procs[p.index()].vc.merge(global_vc);
+    }
+    owner_pages.clear();
+    w.bscratch.owner_pages = owner_pages;
+    bytes
+}
+
+/// The combining-tree fan-down: hands `p` its uncovered suffix of every
+/// writer's frontier segment. The tree's frontier is per-writer
+/// contiguous with consecutive sequence numbers (`seg_ends[q]` bounds
+/// writer q's segment), and `p`'s clock entry for q sits inside that
+/// range — everything below it was shipped to `p` earlier (lock
+/// grants), everything above is new — so the covered prefix is sliced
+/// off with one subtraction instead of a per-record coverage test.
+/// Record order, per-record effects ([`ship_record_to`]) and the final
+/// clock merge are identical to [`integrate_frontier`], which remains
+/// the oracle.
+pub(crate) fn integrate_frontier_slices(
+    w: &mut World,
+    mems: &[Mutex<PagedMemory>],
+    p: ProcId,
+    frontier: &[IntervalId],
+    seg_ends: &[u32],
+    global_vc: &VectorClock,
+) -> usize {
+    let nprocs = w.nprocs();
+    let mut owner_pages = std::mem::take(&mut w.bscratch.owner_pages);
+    let mut bytes = 0usize;
+    {
+        let World {
+            log,
+            procs,
+            dir,
+            cfg,
+            policy,
+            proto,
+            ..
+        } = w;
+        let policy: &dyn AdaptPolicy = &**policy;
+        let adaptive = policy.adapts();
+
+        // One lock acquisition for the whole slice of the frontier.
+        let mut mem = mems[p.index()].lock();
+        let mut start = 0u32;
+        for q in ProcId::all(nprocs) {
+            let end = seg_ends[q.index()];
+            let seg = &frontier[start as usize..end as usize];
+            start = end;
+            if seg.is_empty() {
+                continue;
+            }
+            debug_assert!(seg.iter().all(|id| id.proc == q));
+            debug_assert!(
+                seg.windows(2).all(|pair| pair[1].seq == pair[0].seq + 1),
+                "frontier segments carry consecutive sequence numbers"
+            );
+            // seg spans (base, closed]; p covers exactly the prefix up
+            // to its clock entry for q (own segment: the whole of it).
+            let covered = procs[p.index()].vc.get(q).saturating_sub(seg[0].seq - 1);
+            let skip = (covered as usize).min(seg.len());
+            debug_assert!(seg[skip..]
+                .iter()
+                .all(|&id| !procs[p.index()].vc.covers(id)));
+            for &id in &seg[skip..] {
+                let rec = log.record(id);
+                bytes += rec.wire_size();
+                ship_record_to(
+                    procs,
+                    dir,
+                    cfg,
+                    policy,
+                    proto,
+                    &mut mem,
+                    p,
+                    rec,
+                    adaptive,
+                    &mut owner_pages,
+                );
+            }
+        }
+        drop(mem);
+
+        if adaptive {
+            promote_on_owner_notices(procs, dir, policy, proto, p, &mut owner_pages);
         }
         procs[p.index()].vc.merge(global_vc);
     }
@@ -557,7 +645,7 @@ pub(crate) fn integrate_frontier(
 #[allow(clippy::too_many_arguments)]
 fn ship_record_to(
     procs: &mut [ProcCtl],
-    pages: &mut [PageGlobal],
+    dir: &mut Directory,
     cfg: &DsmConfig,
     policy: &dyn AdaptPolicy,
     proto: &mut ProtocolStats,
@@ -578,7 +666,7 @@ fn ship_record_to(
         // a fetch on its behalf) faults into `fetch_from_home`, which
         // forces the outstanding encodes. The notice itself is not the
         // demand; the home's actual re-read or a serve is.
-        if cfg.protocol == ProtocolKind::Hlrc && pages[pg_idx].home == Some(p) {
+        if cfg.protocol == ProtocolKind::Hlrc && dir[pg_idx].home == Some(p) {
             if cfg.hlrc_lazy_flush {
                 mem.set_rights(page, AccessRights::None);
             }
@@ -629,11 +717,11 @@ fn ship_record_to(
                     // FS onset seen by the page's current owner:
                     // drop ownership — immediately if it has no
                     // uncommitted writes, else at its next close.
-                    if pages[pg_idx].owner == Some(p) && demote {
+                    if dir[pg_idx].owner == Some(p) && demote {
                         if sw_dirty {
-                            pages[pg_idx].drop_pending = true;
+                            dir[pg_idx].drop_pending = true;
                         } else {
-                            pages[pg_idx].owner = None;
+                            dir[pg_idx].owner = None;
                         }
                     }
                 }
@@ -651,7 +739,7 @@ fn ship_record_to(
 /// and deduplicated (the caller clears it).
 fn promote_on_owner_notices(
     procs: &mut [ProcCtl],
-    pages: &mut [PageGlobal],
+    dir: &mut Directory,
     policy: &dyn AdaptPolicy,
     proto: &mut ProtocolStats,
     p: ProcId,
@@ -660,7 +748,7 @@ fn promote_on_owner_notices(
     owner_pages.sort_unstable();
     owner_pages.dedup();
     for &page in owner_pages.iter() {
-        let wants = pages[page.index()].wants_sw;
+        let wants = dir[page.index()].wants_sw;
         let pc = &mut procs[p.index()].pages[page.index()];
         let has_concurrent = pc.missing.iter().any(|n| !n.kind.is_owner());
         if !has_concurrent
@@ -726,7 +814,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pidx = p.index();
     let pgidx = page.index();
     // All transient state of the merge — the open session's delta and
-    // the three working lists — lives in a pooled scratch set: steady
+    // the working lists — lives in a pooled scratch set: steady
     // state merges perform no heap allocation for it. Recursive
     // validations (a server validating before serving) draw their own
     // scratch, so the pool depth equals the recursion depth.
@@ -810,23 +898,27 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         "owner notices must be dominated by the freshest owner copy"
     );
 
-    // 3. Fetch the remaining diffs, grouped by writer, requests issued in
-    //    parallel (elapsed time = slowest writer, messages counted per
-    //    writer). Every fetched diff is a shared handle into the
-    //    writer's per-page store — a refcount bump, never a deep copy
-    //    (`diff_fetch_clones` pins that at zero).
-    scratch
-        .writers
-        .extend(scratch.notices.iter().map(|n| n.interval.proc));
-    scratch.writers.sort_unstable();
-    scratch.writers.dedup();
+    // 3. Fetch the remaining diffs, grouped per writer: the surviving
+    //    notice list is stable-sorted by writer (writers ascending,
+    //    original notice order within each), so one materialise +
+    //    request round covers all of that writer's intervals as a
+    //    contiguous run — the heavily-concurrent MW pages that used to
+    //    rescan the whole list once per writer now walk it once.
+    //    Requests are issued in parallel (elapsed time = slowest
+    //    writer, messages counted per writer). Every fetched diff is a
+    //    shared handle into the writer's per-page store — a refcount
+    //    bump, never a deep copy (`diff_fetch_clones` pins that at
+    //    zero).
+    scratch.notices.sort_by_key(|n| n.interval.proc.index());
     let my_mode_sw = ctx.w.procs[pidx].pages[pgidx].mode == PageMode::Sw;
     let mut remote_writers = 0u64;
     let mut total_reply_bytes = 0usize;
     let mut chaos_extra = SimTime::ZERO;
-    for wi in 0..scratch.writers.len() {
-        let q = scratch.writers[wi];
-        // Lazy diffing: the writer encodes its retained twin on demand.
+    let mut ni = 0usize;
+    while ni < scratch.notices.len() {
+        let q = scratch.notices[ni].interval.proc;
+        // Lazy diffing: the writer encodes its retained twin on demand —
+        // once, ahead of the whole run of its intervals.
         let mcost = materialize_pending(ctx.w, ctx.mems, q, page);
         if mcost > SimTime::ZERO {
             if q == p {
@@ -836,12 +928,10 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             }
         }
         let mut reply_bytes = 0usize;
-        for ni in 0..scratch.notices.len() {
+        while ni < scratch.notices.len() && scratch.notices[ni].interval.proc == q {
             let n = scratch.notices[ni];
-            if n.interval.proc != q {
-                continue;
-            }
-            match ctx.w.procs[q.index()].diffs.get(page, n.interval) {
+            ni += 1;
+            match ctx.w.dir.diff(q, page, n.interval) {
                 Some(diff) => {
                     let diff = Arc::clone(diff);
                     ctx.w.proto.diffs_fetched += 1;
@@ -882,7 +972,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             // Mechanism 1 (§3.1.2): diff requests piggyback the
             // requester's perception of the page.
             if ctx.w.policy.adapts() {
-                ctx.w.pages[pgidx].reports_sw[pidx] = my_mode_sw;
+                ctx.w.dir[pgidx].reports_sw[pidx] = my_mode_sw;
                 mechanism1_consensus(ctx.w, page);
             }
         }
@@ -967,7 +1057,7 @@ fn validate_page_inner(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pc = &mut ctx.w.procs[pidx].pages[pgidx];
     pc.missing.clear();
     pc.has_copy = true;
-    ctx.w.pages[pgidx].copyset[pidx] = true;
+    ctx.w.dir[pgidx].copyset[pidx] = true;
     ctx.w.put_scratch(scratch);
 }
 
@@ -1010,7 +1100,7 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
     // owner — policies measuring write granularity switch it to MW mode
     // (via a deferred ownership drop) so the granularity gets measured.
     if ctx.w.policy.demote_owner_on_read_copy(page.index())
-        && ctx.w.pages[page.index()].owner == Some(q)
+        && ctx.w.dir[page.index()].owner == Some(q)
         && ctx
             .w
             .profiler
@@ -1018,7 +1108,7 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
             .iter()
             .any(|iv| iv.proc == q)
     {
-        ctx.w.pages[page.index()].drop_pending = true;
+        ctx.w.dir[page.index()].drop_pending = true;
     }
 }
 
@@ -1027,7 +1117,7 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
 /// otherwise the initial owner (whose zero-filled image is the initial
 /// page content).
 pub(crate) fn initial_source(w: &World, p: ProcId, page: PageId) -> ProcId {
-    let pg = &w.pages[page.index()];
+    let pg = &w.dir[page.index()];
     if let Some(owner) = pg.owner {
         if owner == p {
             return p;
@@ -1052,19 +1142,19 @@ pub(crate) fn initial_source(w: &World, p: ProcId, page: PageId) -> ProcId {
 /// asks the last perceived owner for ownership.
 pub(crate) fn mechanism1_consensus(w: &mut World, page: PageId) {
     let pgidx = page.index();
-    let all_sw = w.pages[pgidx]
+    let all_sw = w.dir[pgidx]
         .copyset
         .iter()
-        .zip(&w.pages[pgidx].reports_sw)
+        .zip(&w.dir[pgidx].reports_sw)
         .all(|(&in_set, &sw)| !in_set || sw);
     if !all_sw {
         return;
     }
-    if !w.policy.promote_to_sw_ok(pgidx, w.pages[pgidx].wants_sw) {
+    if !w.policy.promote_to_sw_ok(pgidx, w.dir[pgidx].wants_sw) {
         return;
     }
     for q in 0..w.nprocs() {
-        if !w.pages[pgidx].copyset[q] {
+        if !w.dir[pgidx].copyset[q] {
             continue;
         }
         let pc = &mut w.procs[q].pages[pgidx];

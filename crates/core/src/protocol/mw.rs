@@ -57,5 +57,5 @@ pub(crate) fn ensure_twin_and_write(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) 
         pc.dirty = true;
         ctx.w.procs[pidx].dirty.push(page);
     }
-    ctx.w.pages[pgidx].copyset[pidx] = true;
+    ctx.w.dir[pgidx].copyset[pidx] = true;
 }

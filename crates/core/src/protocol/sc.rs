@@ -36,7 +36,7 @@ use super::lrc::{Ctx, CTRL_BYTES};
 /// SC read fault: fetch a read copy from the owner through the manager.
 pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pgidx = page.index();
-    let owner = ctx.w.pages[pgidx]
+    let owner = ctx.w.dir[pgidx]
         .owner
         .expect("SC pages always have an owner");
 
@@ -95,7 +95,7 @@ pub(crate) fn read_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 /// SC write fault: obtain ownership and the sole copy.
 pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pgidx = page.index();
-    let owner = ctx.w.pages[pgidx]
+    let owner = ctx.w.dir[pgidx]
         .owner
         .expect("SC pages always have an owner");
     let cost_model = ctx.w.cfg.cost.clone();
@@ -140,9 +140,9 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
             ctx.mems[p.index()].lock().install_page(page, &bytes);
             ctx.w.proto.pages_transferred += 1;
         }
-        ctx.w.pages[pgidx].version += 1;
-        ctx.w.pages[pgidx].owner = Some(p);
-        ctx.w.pages[pgidx].owner_since = ctx.now();
+        ctx.w.dir[pgidx].version += 1;
+        ctx.w.dir[pgidx].owner = Some(p);
+        ctx.w.dir[pgidx].owner_since = ctx.now();
         ctx.w.proto.ownership_grants += 1;
     }
 
@@ -165,7 +165,7 @@ fn invalidate_copies(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let cost_model = ctx.w.cfg.cost.clone();
     let mut invalidated = 0u64;
     for q in ProcId::all(nprocs) {
-        if q == p || !ctx.w.pages[pgidx].copyset[q.index()] {
+        if q == p || !ctx.w.dir[pgidx].copyset[q.index()] {
             continue;
         }
         let now = ctx.now();
@@ -176,7 +176,7 @@ fn invalidate_copies(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         ctx.mems[q.index()]
             .lock()
             .set_rights(page, AccessRights::None);
-        ctx.w.pages[pgidx].copyset[q.index()] = false;
+        ctx.w.dir[pgidx].copyset[q.index()] = false;
         invalidated += 1;
     }
     if invalidated > 0 {
@@ -195,7 +195,7 @@ fn invalidate_copies(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 fn finish_copy(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pc = &mut ctx.w.procs[p.index()].pages[page.index()];
     pc.has_copy = true;
-    ctx.w.pages[page.index()].copyset[p.index()] = true;
+    ctx.w.dir[page.index()].copyset[p.index()] = true;
 }
 
 /// SC coherence invariants, checked after every fault when the
@@ -209,7 +209,7 @@ fn finish_copy(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 pub(crate) fn check_invariants(ctx: &Ctx<'_>, label: &str) {
     for pg in 0..ctx.w.cfg.npages {
         let page = PageId::new(pg);
-        let owner = ctx.w.pages[pg].owner.expect("SC owner");
+        let owner = ctx.w.dir[pg].owner.expect("SC owner");
         let owner_bytes = ctx.mems[owner.index()].lock().page(page).to_vec();
         let mut writable = 0;
         for q in 0..ctx.w.nprocs() {
@@ -224,7 +224,7 @@ pub(crate) fn check_invariants(ctx: &Ctx<'_>, label: &str) {
             }
             if rights.readable() {
                 assert!(
-                    ctx.w.pages[pg].copyset[q],
+                    ctx.w.dir[pg].copyset[q],
                     "{label}: page {pg} readable at p{q} but not in copyset"
                 );
                 let bytes = ctx.mems[q].lock().page(page).to_vec();

@@ -20,14 +20,14 @@ use crate::world::Hvn;
 /// migration through the home.
 pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pgidx = page.index();
-    if ctx.w.pages[pgidx].owner == Some(p) {
+    if ctx.w.dir[pgidx].owner == Some(p) {
         soft_write_fault(ctx, p, page);
         return;
     }
 
     let nprocs = ctx.w.nprocs();
     let home = ProcId::new(pgidx % nprocs);
-    let owner = ctx.w.pages[pgidx]
+    let owner = ctx.w.dir[pgidx]
         .owner
         .expect("SW pages always have an owner");
     let cost_model = ctx.w.cfg.cost.clone();
@@ -53,7 +53,7 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     // The owner services the request: it may have to sit on the page
     // until its ownership quantum expires (§2.3).
     let arrival = now + c_req + c_fwd;
-    let quantum_up = ctx.w.pages[pgidx].owner_since + cost_model.ownership_quantum;
+    let quantum_up = ctx.w.dir[pgidx].owner_since + cost_model.ownership_quantum;
     let grant_at = arrival.max(quantum_up);
     ctx.task.advance_to(grant_at);
 
@@ -87,11 +87,11 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         .lock()
         .set_rights(page, AccessRights::Read);
 
-    let version = ctx.w.pages[pgidx].version + 1;
-    ctx.w.pages[pgidx].version = version;
-    ctx.w.pages[pgidx].owner = Some(p);
-    ctx.w.pages[pgidx].owner_since = ctx.now();
-    ctx.w.pages[pgidx].copyset[p.index()] = true;
+    let version = ctx.w.dir[pgidx].version + 1;
+    ctx.w.dir[pgidx].version = version;
+    ctx.w.dir[pgidx].owner = Some(p);
+    ctx.w.dir[pgidx].owner_since = ctx.now();
+    ctx.w.dir[pgidx].copyset[p.index()] = true;
     ctx.w.proto.ownership_grants += 1;
     ctx.w.proto.pages_transferred += 1;
 
@@ -111,7 +111,7 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
 /// The owner writing its own (write-protected or never-touched) page:
 /// no messages, just reopen write access and track the modification.
 pub(crate) fn soft_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
-    debug_assert_eq!(ctx.w.pages[page.index()].owner, Some(p));
+    debug_assert_eq!(ctx.w.dir[page.index()].owner, Some(p));
     // The owner's copy can be invalid if concurrent writers appeared
     // (adaptive protocols); merge their modifications first.
     let readable = ctx.mems[p.index()].lock().rights(page).readable();
@@ -127,11 +127,11 @@ pub(crate) fn soft_write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         .set_rights(page, AccessRights::Write);
     let pc = &mut ctx.w.procs[p.index()].pages[page.index()];
     pc.has_copy = true;
-    ctx.w.pages[page.index()].copyset[p.index()] = true;
+    ctx.w.dir[page.index()].copyset[p.index()] = true;
     ctx.w.proto.soft_write_faults += 1;
     // §7 migratory detection: a read-granted owner writing confirms the
     // prediction.
-    let pg = &mut ctx.w.pages[page.index()];
+    let pg = &mut ctx.w.dir[page.index()];
     if pg.read_owned && pg.owner == Some(p) {
         pg.read_owned = false;
         pg.migratory_score = (pg.migratory_score + 1).min(3);

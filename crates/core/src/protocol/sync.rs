@@ -146,21 +146,23 @@ pub(crate) enum BarrierOutcome {
     Completed,
 }
 
-/// Barrier arrival. The last arriver performs the completion work:
-/// the batched global notice exchange, adaptive mechanism 3, garbage
-/// collection if requested (through the protocol's `gc` hook, passed
-/// in as a closure), and the release broadcast.
-///
-/// Completion is a **batched fan-in**: one sweep of the shared
-/// interval log — bounded below by the last release's global clock —
-/// collects the barrier's notice frontier, the new global clock and
-/// the mechanism-3 candidate pages all at once; each departing
-/// processor then receives only the frontier slice it has not covered
-/// ([`lrc::integrate_frontier`]). The old completion ran one full
-/// pair-wise [`lrc::integrate_from`] range scan per processor —
-/// O(procs × log) — where the frontier pass is O(log + procs·new
-/// records), and every transient (frontier, payloads, page sets) is
-/// pooled on the `World`, so steady-state barriers allocate nothing.
+/// Barrier arrival. Fan-in is an **O(log P) combining tree**
+/// ([`crate::world::BarrierTree`]): each arrival contributes its own
+/// new interval records and clock at its leaf, then performs every
+/// pairwise combine its arrival enables on the path toward the root —
+/// vector clocks merged, notice frontiers concatenated in processor
+/// order. By the last arrival the root holds the episode's notice
+/// frontier, global clock and mechanism-3 candidate pages, so the last
+/// arriver's completion work is O(P) bookkeeping — reconcile
+/// proxy-closed intervals, derive the global clock — plus the
+/// per-processor fan-down: each departing processor receives only the
+/// uncovered suffix of every writer's frontier segment
+/// ([`lrc::integrate_frontier_slices`]), sliced by clock arithmetic
+/// instead of a per-record coverage filter. The flat sweep the tree
+/// replaced ([`lrc::integrate_frontier`]) is retained as the oracle
+/// for the tree≡flat equivalence tests, and every transient (tree
+/// nodes, frontier, payloads, page sets) is pooled on the `World`, so
+/// steady-state barriers allocate nothing.
 pub(crate) fn barrier_arrive(
     ctx: &mut Ctx<'_>,
     p: ProcId,
@@ -183,6 +185,32 @@ pub(crate) fn barrier_arrive(
     let arrival = ctx.now();
     ctx.w.barrier.arrived[p.index()] = Some(arrival);
 
+    // Tree fan-in: this arrival's leaf contribution plus the pairwise
+    // combines it enables (at most one node per level). Host cost only —
+    // the virtual-time arrival message above is unchanged.
+    let adapts = ctx.w.policy.adapts();
+    let fanin0 = ctx.w.cfg.measure_host_costs.then(std::time::Instant::now);
+    {
+        let w = &mut *ctx.w;
+        let crate::world::BarrierState {
+            tree,
+            last_release_vc,
+            ..
+        } = &mut w.barrier;
+        let vc = &w.procs[p.index()].vc;
+        debug_assert!(
+            vc.dominates(last_release_vc),
+            "every processor covers the last barrier release"
+        );
+        tree.arrive(p, vc, &w.log, last_release_vc, adapts);
+    }
+    if let Some(t0) = fanin0 {
+        ctx.w
+            .proto
+            .barrier_fanin_wall
+            .record(t0.elapsed().as_nanos() as u64);
+    }
+
     if ctx.w.barrier.arrived.iter().any(|a| a.is_none()) {
         return BarrierOutcome::MustBlock;
     }
@@ -200,44 +228,45 @@ pub(crate) fn barrier_arrive(
     let cost_model = ctx.w.cfg.cost.clone();
     ctx.charge(cost_model.service_interrupt);
 
-    // One log sweep builds the notice frontier — every interval closed
-    // since the last barrier release, in (writer, seq) order — and, for
-    // the adaptive protocols, the pages those intervals wrote (the
-    // mechanism-3 candidates; no second pass). The new global clock
-    // falls out too: its entry for q is q's own closed-interval count,
-    // since no processor ever knows more of q's intervals than q.
+    // The tree root holds the episode's notice frontier — every
+    // interval closed since the last barrier release, in (writer, seq)
+    // order — and, for the adaptive protocols, the pages those
+    // intervals wrote (the mechanism-3 candidates). `finish` appends
+    // intervals proxy-closed after their writer's arrival (lock grants
+    // closing a blocked grantor's interval). The new global clock's
+    // entry for q is q's own closed-interval count, since no processor
+    // ever knows more of q's intervals than q; the tree's root clock
+    // must agree — every proxy close is merged into a later arriver.
     let mut frontier = std::mem::take(&mut ctx.w.bscratch.frontier);
     let mut m3_pages = std::mem::take(&mut ctx.w.bscratch.m3_pages);
     let mut payloads = std::mem::take(&mut ctx.w.bscratch.payloads);
-    debug_assert!(frontier.is_empty() && m3_pages.is_empty());
-    let adapts = ctx.w.policy.adapts();
-    for q in ProcId::all(nprocs) {
-        let base = &ctx.w.barrier.last_release_vc;
-        debug_assert!(
-            ctx.w.procs[q.index()].vc.dominates(base),
-            "every processor covers the last barrier release"
-        );
-        for rec in ctx.w.log.range(q, base.get(q), ctx.w.log.closed(q)) {
-            frontier.push(rec.id);
-            if adapts {
-                for n in rec.writes.iter() {
-                    m3_pages.push(n.page);
-                }
-            }
-        }
+    let mut seg_ends = std::mem::take(&mut ctx.w.bscratch.seg_ends);
+    debug_assert!(frontier.is_empty() && m3_pages.is_empty() && seg_ends.is_empty());
+    {
+        let w = &mut *ctx.w;
+        w.barrier
+            .tree
+            .finish(&w.log, adapts, &mut frontier, &mut m3_pages, &mut seg_ends);
     }
     // The last release's clock is dominated by the new global clock,
     // so its allocation is reused in place of a fresh merge of clones.
     let mut global_vc = std::mem::take(&mut ctx.w.barrier.last_release_vc);
     for q in ProcId::all(nprocs) {
         global_vc.set(q, ctx.w.log.closed(q));
+        debug_assert_eq!(
+            ctx.w.barrier.tree.root_vc().get(q),
+            global_vc.get(q),
+            "tree root clock diverged from the log for {q}"
+        );
     }
 
-    // Hand each processor the frontier slice it has not covered.
+    // Fan-down: hand each processor the frontier suffix slices it has
+    // not covered.
     payloads.clear();
     payloads.resize(nprocs, 0);
     for q in ProcId::all(nprocs) {
-        payloads[q.index()] = lrc::integrate_frontier(ctx.w, ctx.mems, q, &frontier, &global_vc);
+        payloads[q.index()] =
+            lrc::integrate_frontier_slices(ctx.w, ctx.mems, q, &frontier, &seg_ends, &global_vc);
     }
 
     // Adaptive barrier-time detection (mechanism 3), then GC. The
@@ -277,16 +306,20 @@ pub(crate) fn barrier_arrive(
     ctx.w.barrier.arrived.fill(None);
     ctx.w.barrier.episodes += 1;
     ctx.w.barrier.last_release_vc = global_vc;
+    ctx.w.barrier.tree.reset();
     frontier.clear();
     m3_pages.clear();
+    seg_ends.clear();
     ctx.w.bscratch.frontier = frontier;
     ctx.w.bscratch.m3_pages = m3_pages;
     ctx.w.bscratch.payloads = payloads;
+    ctx.w.bscratch.seg_ends = seg_ends;
     ctx.w.trace_event(completion, TraceKind::Barrier);
     if let Some(wall0) = wall0 {
-        // Host cost of the fan-in: frontier sweep, per-proc
-        // integration, mechanism 3, GC and the release broadcast, per
-        // barrier episode.
+        // Host cost of the completion: tree reconciliation, per-proc
+        // fan-down, mechanism 3, GC and the release broadcast, per
+        // barrier episode. The per-arrival fan-in work (leaf + pairwise
+        // combines) is recorded separately in `barrier_fanin_wall`.
         ctx.w
             .proto
             .barrier_wall
@@ -320,13 +353,13 @@ fn new_interval_bytes(w: &crate::world::World, p: ProcId) -> usize {
 fn mechanism3(ctx: &mut Ctx<'_>, pages: &[adsm_mempage::PageId]) {
     for &page in pages {
         let pgidx = page.index();
-        if ctx.w.pages[pgidx].owner.is_some() {
+        if ctx.w.dir[pgidx].owner.is_some() {
             continue; // still under SW handling somewhere
         }
         if !ctx
             .w
             .policy
-            .promote_to_sw_ok(pgidx, ctx.w.pages[pgidx].wants_sw)
+            .promote_to_sw_ok(pgidx, ctx.w.dir[pgidx].wants_sw)
         {
             // The policy keeps the page in MW mode — small diffs under
             // WFS+WG (§3.3 priority rule), an open hysteresis window, a
@@ -353,11 +386,11 @@ fn mechanism3(ctx: &mut Ctx<'_>, pages: &[adsm_mempage::PageId]) {
             lrc::validate_page(ctx, wlast, page);
         }
 
-        let version = ctx.w.pages[pgidx].version + 1;
-        ctx.w.pages[pgidx].version = version;
-        ctx.w.pages[pgidx].owner = Some(wlast);
-        ctx.w.pages[pgidx].owner_since = ctx.now();
-        ctx.w.pages[pgidx].drop_pending = false;
+        let version = ctx.w.dir[pgidx].version + 1;
+        ctx.w.dir[pgidx].version = version;
+        ctx.w.dir[pgidx].owner = Some(wlast);
+        ctx.w.dir[pgidx].owner_since = ctx.now();
+        ctx.w.dir[pgidx].drop_pending = false;
 
         for q in 0..ctx.w.nprocs() {
             let readable = ctx.mems[q].lock().rights(page).readable();
@@ -560,8 +593,140 @@ mod tests {
             .collect()
     }
 
+    /// Drives the combining tree over an explicit arrival order.
+    /// `inject_after` positions model lock grants proxy-closing the
+    /// just-arrived processor's next interval on its behalf: the
+    /// grantor's clock ticks, the record lands in the log after its
+    /// leaf snapshot, and the acquirer — the next arriver — merges the
+    /// grantor's clock (as `integrate_from` does on a grant). Returns
+    /// the assembled frontier and per-writer segment ends.
+    fn run_tree(
+        w: &mut World,
+        order: &[usize],
+        inject_after: &[usize],
+    ) -> (Vec<IntervalId>, Vec<u32>) {
+        for (k, &qi) in order.iter().enumerate() {
+            let q = ProcId::new(qi);
+            {
+                let crate::world::BarrierState {
+                    tree,
+                    last_release_vc,
+                    ..
+                } = &mut w.barrier;
+                tree.arrive(q, &w.procs[qi].vc, &w.log, last_release_vc, false);
+            }
+            if inject_after.contains(&k) && k + 1 < order.len() {
+                let seq = w.log.closed(q) + 1;
+                w.procs[qi].vc.set(q, seq);
+                w.log.push(
+                    q,
+                    IntervalRecord {
+                        id: IntervalId::new(q, seq),
+                        vc: crate::notice::CloseVc::fresh(w.procs[qi].vc.clone(), q, seq),
+                        writes: Vec::new().into(),
+                    },
+                );
+                let grantor_vc = w.procs[qi].vc.clone();
+                w.procs[order[k + 1]].vc.merge(&grantor_vc);
+            }
+        }
+        let mut frontier = Vec::new();
+        let mut m3 = Vec::new();
+        let mut seg_ends = Vec::new();
+        w.barrier
+            .tree
+            .finish(&w.log, false, &mut frontier, &mut m3, &mut seg_ends);
+        (frontier, seg_ends)
+    }
+
+    /// The record sequence the tree fan-down ships to `p`: per-writer
+    /// suffix slices of the assembled frontier, the covered prefix cut
+    /// off by clock arithmetic — mirrors
+    /// `lrc::integrate_frontier_slices`.
+    fn slices_shipment(
+        w: &World,
+        p: usize,
+        frontier: &[IntervalId],
+        seg_ends: &[u32],
+    ) -> Vec<(IntervalId, usize)> {
+        let mut out = Vec::new();
+        let mut start = 0u32;
+        for q in ProcId::all(w.nprocs()) {
+            let end = seg_ends[q.index()];
+            let seg = &frontier[start as usize..end as usize];
+            start = end;
+            if seg.is_empty() {
+                continue;
+            }
+            let covered = w.procs[p].vc.get(q).saturating_sub(seg[0].seq - 1);
+            let skip = (covered as usize).min(seg.len());
+            for &id in &seg[skip..] {
+                out.push((id, w.log.record(id).wire_size()));
+            }
+        }
+        out
+    }
+
+    /// Deterministic permutation of `0..n` from ranking keys.
+    fn order_from_keys(n: usize, keys: &[u64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (keys.get(i).copied().unwrap_or(0), i));
+        order
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The combining tree assembles — for every arrival order —
+        /// exactly the flat sweep's frontier, and its per-processor
+        /// fan-down slices ship byte-identical record sequences to
+        /// both the flat coverage filter and the pair-wise
+        /// `integrate_from` walk. Mid-schedule proxy closes (lock
+        /// grants closing a blocked arriver's interval) are folded in.
+        #[test]
+        fn tree_equals_flat_fanin(
+            h in history_strategy(),
+            keys in prop::collection::vec(any::<u64>(), 8),
+            inject in prop::collection::vec(0usize..8, 0..3),
+        ) {
+            let mut w = build_world(&h);
+            let order = order_from_keys(h.nprocs, &keys);
+            let inject: Vec<usize> =
+                inject.iter().map(|&i| i % h.nprocs).collect();
+            let (frontier, seg_ends) = run_tree(&mut w, &order, &inject);
+
+            // The assembled frontier equals the flat sweep's, in
+            // (writer, seq) order over the final log.
+            let mut flat = Vec::new();
+            for q in ProcId::all(h.nprocs) {
+                let from = w.barrier.last_release_vc.get(q);
+                for rec in w.log.range(q, from, w.log.closed(q)) {
+                    flat.push(rec.id);
+                }
+            }
+            prop_assert_eq!(&frontier, &flat);
+            prop_assert_eq!(seg_ends.len(), h.nprocs);
+
+            // The root clock equals the per-writer closed counts (the
+            // completion's global clock).
+            for q in ProcId::all(h.nprocs) {
+                prop_assert_eq!(w.barrier.tree.root_vc().get(q), w.log.closed(q));
+            }
+
+            // Per-processor fan-down slices == flat coverage filter ==
+            // pair-wise walk.
+            let mut global = VectorClock::new(h.nprocs);
+            for p in 0..h.nprocs {
+                global.merge(&w.procs[p].vc);
+            }
+            for p in 0..h.nprocs {
+                let tree_ship = slices_shipment(&w, p, &frontier, &seg_ends);
+                let front = frontier_shipment(&w, p);
+                let pair = pairwise_shipment(&w, p, &global);
+                prop_assert_eq!(&tree_ship, &front, "proc {} tree vs flat", p);
+                prop_assert_eq!(&tree_ship, &pair, "proc {} tree vs pairwise", p);
+            }
+        }
 
         /// The batched fan-in delivers a byte-identical notice set —
         /// same records, same order, same payload bytes — to one

@@ -581,10 +581,10 @@ fn finalize_image(
         for pg in 0..npages {
             let page = adsm_mempage::PageId::new(pg);
             let src = match protocol {
-                ProtocolKind::Sc => w.pages[pg].owner.expect("SC pages have owners"),
+                ProtocolKind::Sc => w.dir[pg].owner.expect("SC pages have owners"),
                 // An unresolved home means the page was never faulted:
                 // every frame still holds its initial zeros.
-                _ => w.pages[pg].home.unwrap_or(ProcId::new(0)),
+                _ => w.dir[pg].home.unwrap_or(ProcId::new(0)),
             };
             if src.index() != 0 {
                 let bytes = mems[src.index()].lock().page(page).to_vec();

@@ -234,6 +234,148 @@ impl DiffStore {
     }
 }
 
+/// One home's shard of the page directory: the authoritative
+/// [`PageGlobal`] entries for every page homed at this shard, plus a
+/// per-creator [`DiffStore`] restricted to those pages. Shards are the
+/// unit of locality: a validation fetch, a notice-domination check or a
+/// GC sweep for page `pg` touches only shard `pg % nshards`.
+#[derive(Debug)]
+pub(crate) struct DirShard {
+    /// Directory entries of the pages homed here, at slot
+    /// `pg / nshards`.
+    pages: Vec<PageGlobal>,
+    /// Diffs created for pages homed here, indexed by the creating
+    /// processor.
+    diffs: Vec<DiffStore>,
+}
+
+/// The page directory, sharded by home processor: shard `pg % nshards`
+/// (with `nshards == nprocs`) holds page `pg` at slot `pg / nshards`.
+/// The modulo assignment coincides with the round-robin home policy —
+/// the HLRC default — so under HLRC a shard is exactly the metadata the
+/// home node owns in a real home-based system; the other home policies
+/// keep the same physical sharding and record the resolved home in
+/// [`PageGlobal::home`].
+///
+/// Diff storage moved here from the per-processor state: diffs are
+/// keyed by (creator, page) and physically grouped by the page's home
+/// shard, so the merge procedure's fetches and the GC sweep for one
+/// page stay within one shard. Per-creator byte totals are maintained
+/// directory-wide so the GC-threshold test stays O(1).
+#[derive(Debug)]
+pub(crate) struct Directory {
+    shards: Vec<DirShard>,
+    npages: usize,
+    /// Per-creator totals of stored diff bytes across all shards.
+    diff_bytes: Vec<u64>,
+}
+
+impl Directory {
+    pub fn new(npages: usize, nprocs: usize, mut init: impl FnMut(usize) -> PageGlobal) -> Self {
+        let nshards = nprocs.max(1);
+        let mut shards: Vec<DirShard> = (0..nshards)
+            .map(|_| DirShard {
+                pages: Vec::with_capacity(npages.div_ceil(nshards)),
+                diffs: (0..nprocs).map(|_| DiffStore::default()).collect(),
+            })
+            .collect();
+        for pg in 0..npages {
+            shards[pg % nshards].pages.push(init(pg));
+        }
+        Directory {
+            shards,
+            npages,
+            diff_bytes: vec![0; nprocs],
+        }
+    }
+
+    #[inline]
+    fn locate(&self, pg: usize) -> (usize, usize) {
+        debug_assert!(pg < self.npages);
+        let nshards = self.shards.len();
+        (pg % nshards, pg / nshards)
+    }
+
+    /// Number of pages in the directory.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.npages
+    }
+
+    /// Directory entries in page order.
+    pub fn iter(&self) -> impl Iterator<Item = &PageGlobal> + '_ {
+        (0..self.npages).map(|pg| &self[pg])
+    }
+
+    /// Stores a diff created by `q`, in the page's home shard.
+    pub fn insert_diff(&mut self, q: ProcId, page: PageId, interval: IntervalId, diff: Diff) {
+        let (s, _) = self.locate(page.index());
+        let store = &mut self.shards[s].diffs[q.index()];
+        let before = store.bytes as i64;
+        store.insert(page, interval, diff);
+        let delta = store.bytes as i64 - before;
+        self.diff_bytes[q.index()] = (self.diff_bytes[q.index()] as i64 + delta) as u64;
+    }
+
+    /// The stored diff `q` created for `(page, interval)`, as a shared
+    /// handle (see [`DiffStore::get`]).
+    pub fn diff(&self, q: ProcId, page: PageId, interval: IntervalId) -> Option<&Arc<Diff>> {
+        let (s, _) = self.locate(page.index());
+        self.shards[s].diffs[q.index()].get(page, interval)
+    }
+
+    /// Does `q` hold at least one stored diff for `page`?
+    pub fn has_diffs(&self, q: ProcId, page: PageId) -> bool {
+        let (s, _) = self.locate(page.index());
+        self.shards[s].diffs[q.index()].has_page(page)
+    }
+
+    /// Total stored diff bytes created by `q`, across all shards (the
+    /// GC-trigger threshold input; O(1)).
+    pub fn diff_bytes(&self, q: ProcId) -> u64 {
+        self.diff_bytes[q.index()]
+    }
+
+    /// Pages for which `q` holds at least one stored diff (unordered
+    /// across shards; each page appears exactly once).
+    pub fn diff_pages(&self, q: ProcId) -> impl Iterator<Item = PageId> + '_ {
+        self.shards
+            .iter()
+            .flat_map(move |shard| shard.diffs[q.index()].pages())
+    }
+
+    /// Discards every diff `q` created; returns (count, bytes) removed.
+    pub fn clear_proc_diffs(&mut self, q: ProcId) -> (u64, u64) {
+        let mut count = 0;
+        let mut bytes = 0;
+        for shard in &mut self.shards {
+            let (n, b) = shard.diffs[q.index()].clear();
+            count += n;
+            bytes += b;
+        }
+        debug_assert_eq!(bytes, self.diff_bytes[q.index()]);
+        self.diff_bytes[q.index()] = 0;
+        (count, bytes)
+    }
+}
+
+impl std::ops::Index<usize> for Directory {
+    type Output = PageGlobal;
+    #[inline]
+    fn index(&self, pg: usize) -> &PageGlobal {
+        let (s, slot) = self.locate(pg);
+        &self.shards[s].pages[slot]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Directory {
+    #[inline]
+    fn index_mut(&mut self, pg: usize) -> &mut PageGlobal {
+        let (s, slot) = self.locate(pg);
+        &mut self.shards[s].pages[slot]
+    }
+}
+
 /// The cluster-wide interval log: every processor's closed intervals,
 /// indexed by processor and 1-based sequence number — the canonical
 /// happened-before-1 history the merge procedure and write-notice
@@ -340,7 +482,7 @@ impl std::borrow::Borrow<Diff> for KeyedDiff {
 
 /// Reusable scratch for one `validate_page` invocation: the open
 /// session's delta diff (encoded in place with [`Diff::encode_into`])
-/// and the three working lists of the merge procedure. Held in a pool
+/// and the working lists of the merge procedure. Held in a pool
 /// on the [`World`] so steady-state merges allocate nothing; the pool
 /// depth follows the validation recursion depth (a server validating
 /// its copy before serving draws a second scratch).
@@ -349,10 +491,9 @@ pub(crate) struct MergeScratch {
     /// Uncommitted local delta of an open write session.
     pub delta: Diff,
     /// Snapshot of the page's pending notices, filtered in place down
-    /// to the surviving (non-dominated) set.
+    /// to the surviving (non-dominated) set, then stable-sorted by
+    /// writer so the diff fetch walks one contiguous run per writer.
     pub notices: Vec<PendingNotice>,
-    /// Distinct writers among the surviving notices.
-    pub writers: Vec<ProcId>,
     /// Fetched diffs, sorted into happened-before order for the k-way
     /// merge.
     pub to_apply: Vec<KeyedDiff>,
@@ -381,6 +522,250 @@ pub(crate) struct BarrierScratch {
     /// Pages that received an owner notice during one processor's
     /// integration (detection mechanism 2); reused across processors.
     pub owner_pages: Vec<PageId>,
+    /// Per-writer segment ends into `frontier` (entry q = end offset of
+    /// q's records; its start is entry q-1, or 0): the index the tree
+    /// fan-down uses to hand each departing processor its uncovered
+    /// suffix of every writer's segment without re-filtering.
+    pub seg_ends: Vec<u32>,
+}
+
+/// One node of the barrier combining tree: a contiguous processor span
+/// `[lo, hi)` whose arrivals have been merged — vector clocks pairwise,
+/// notice frontiers concatenated in processor order.
+#[derive(Clone, Debug)]
+pub(crate) struct TreeNode {
+    lo: usize,
+    hi: usize,
+    parent: usize,
+    children: Option<(usize, usize)>,
+    /// Both children (or, for a leaf, the processor) have arrived and
+    /// been merged in.
+    complete: bool,
+    /// Merge of the span's arrival clocks.
+    vc: VectorClock,
+    /// The span's frontier records, ordered by (writer, seq) with
+    /// writers ascending — the same order for every arrival schedule.
+    frontier: Vec<IntervalId>,
+    /// Per-writer segment ends into `frontier`, one entry per processor
+    /// in `[lo, hi)`.
+    seg_ends: Vec<u32>,
+    /// Pages named by the span's frontier write notices (mechanism-3
+    /// candidates), unordered.
+    m3: Vec<PageId>,
+}
+
+/// The O(log P) combining tree of the barrier fan-in. Arrivals do the
+/// frontier work incrementally: each arriving processor contributes its
+/// own new interval records at its leaf and then performs every
+/// pairwise combine its arrival enables on the path toward the root —
+/// at most one node per level. By the last arrival the root already
+/// holds the episode's notice frontier, global clock and mechanism-3
+/// candidates, so completion is O(P) bookkeeping instead of the flat
+/// O(P + log-sweep) rebuild. All node storage is pooled: `reset`
+/// clears completion flags but keeps every vector's capacity.
+///
+/// The flat sweep (`lrc::integrate_frontier` and the test-side
+/// mirrors in `protocol::sync`) is retained as the oracle: a proptest
+/// pins the tree's record sequences byte-identical to it over random
+/// interval logs and arrival orders.
+#[derive(Clone, Debug)]
+pub(crate) struct BarrierTree {
+    nodes: Vec<TreeNode>,
+    /// Processor → leaf node index.
+    leaf_of: Vec<usize>,
+    /// `log.closed(q)` snapshot taken at q's arrival: the leaf
+    /// collection bound. Records q closed *after* arriving — lock
+    /// grants close a blocked grantor's interval on its behalf — are
+    /// reconciled at `finish`.
+    leaf_to: Vec<u32>,
+    nprocs: usize,
+}
+
+impl BarrierTree {
+    pub fn new(nprocs: usize) -> Self {
+        fn build(
+            nodes: &mut Vec<TreeNode>,
+            leaf_of: &mut [usize],
+            nprocs: usize,
+            lo: usize,
+            hi: usize,
+            parent: usize,
+        ) -> usize {
+            let idx = nodes.len();
+            nodes.push(TreeNode {
+                lo,
+                hi,
+                parent,
+                children: None,
+                complete: false,
+                vc: VectorClock::new(nprocs),
+                frontier: Vec::new(),
+                seg_ends: Vec::new(),
+                m3: Vec::new(),
+            });
+            if hi - lo == 1 {
+                leaf_of[lo] = idx;
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let l = build(nodes, leaf_of, nprocs, lo, mid, idx);
+                let r = build(nodes, leaf_of, nprocs, mid, hi, idx);
+                nodes[idx].children = Some((l, r));
+            }
+            idx
+        }
+        let mut nodes = Vec::with_capacity(2 * nprocs.max(1) - 1);
+        let mut leaf_of = vec![0; nprocs];
+        build(
+            &mut nodes,
+            &mut leaf_of,
+            nprocs,
+            0,
+            nprocs.max(1),
+            usize::MAX,
+        );
+        BarrierTree {
+            nodes,
+            leaf_of,
+            leaf_to: vec![0; nprocs],
+            nprocs,
+        }
+    }
+
+    /// Processor `q`'s arrival: fills its leaf — `q`'s records above the
+    /// barrier base, plus its clock — then combines upward while the
+    /// sibling subtree is already complete. Returns the number of tree
+    /// nodes this arrival completed (≥ 1, ≤ one per level).
+    pub fn arrive(
+        &mut self,
+        q: ProcId,
+        vc: &VectorClock,
+        log: &IntervalLog,
+        base: &VectorClock,
+        collect_m3: bool,
+    ) -> usize {
+        let qi = q.index();
+        let to = log.closed(q);
+        self.leaf_to[qi] = to;
+        let leaf = self.leaf_of[qi];
+        {
+            let node = &mut self.nodes[leaf];
+            debug_assert!(!node.complete, "double arrival of {q}");
+            node.frontier.clear();
+            node.seg_ends.clear();
+            node.m3.clear();
+            for p in ProcId::all(self.nprocs) {
+                node.vc.set(p, vc.get(p));
+            }
+            for rec in log.range(q, base.get(q), to) {
+                node.frontier.push(rec.id);
+                if collect_m3 {
+                    for n in rec.writes.iter() {
+                        node.m3.push(n.page);
+                    }
+                }
+            }
+            node.seg_ends.push(node.frontier.len() as u32);
+            node.complete = true;
+        }
+        let mut completed = 1;
+        let mut cur = leaf;
+        loop {
+            let parent = self.nodes[cur].parent;
+            if parent == usize::MAX {
+                break;
+            }
+            let (l, r) = self.nodes[parent].children.expect("interior node");
+            if !(self.nodes[l].complete && self.nodes[r].complete) {
+                break;
+            }
+            self.combine(parent, l, r);
+            completed += 1;
+            cur = parent;
+        }
+        completed
+    }
+
+    /// Merges two complete children into `parent`: clocks pairwise,
+    /// frontiers concatenated left-then-right (processor spans are
+    /// contiguous, so the result is in global processor order whatever
+    /// the arrival schedule was).
+    fn combine(&mut self, parent: usize, l: usize, r: usize) {
+        debug_assert!(parent < l && parent < r, "preorder layout");
+        let (head, tail) = self.nodes.split_at_mut(parent + 1);
+        let node = &mut head[parent];
+        let (ln, rn) = (&tail[l - parent - 1], &tail[r - parent - 1]);
+        debug_assert!(ln.lo == node.lo && ln.hi == rn.lo && rn.hi == node.hi);
+        for p in ProcId::all(self.nprocs) {
+            node.vc.set(p, ln.vc.get(p));
+        }
+        node.vc.merge(&rn.vc);
+        node.frontier.clear();
+        node.frontier.extend_from_slice(&ln.frontier);
+        node.frontier.extend_from_slice(&rn.frontier);
+        node.seg_ends.clear();
+        node.seg_ends.extend_from_slice(&ln.seg_ends);
+        let off = ln.frontier.len() as u32;
+        node.seg_ends.extend(rn.seg_ends.iter().map(|&e| e + off));
+        node.m3.clear();
+        node.m3.extend_from_slice(&ln.m3);
+        node.m3.extend_from_slice(&rn.m3);
+        node.complete = true;
+    }
+
+    /// Merge of every arrival clock (valid once the root is complete).
+    pub fn root_vc(&self) -> &VectorClock {
+        debug_assert!(self.nodes[0].complete);
+        &self.nodes[0].vc
+    }
+
+    /// Assembles the completed tree into `frontier` / `m3` / `seg_ends`
+    /// in flat-sweep order — writer-ascending, seq-ascending within a
+    /// writer. Records proxy-closed after their writer's arrival (a
+    /// lock grant closing a blocked grantor's interval) are appended at
+    /// the end of that writer's segment, which is exactly where the
+    /// flat sweep would have placed them: segments are per-writer
+    /// contiguous and sequence numbers consecutive.
+    pub fn finish(
+        &self,
+        log: &IntervalLog,
+        collect_m3: bool,
+        frontier: &mut Vec<IntervalId>,
+        m3: &mut Vec<PageId>,
+        seg_ends: &mut Vec<u32>,
+    ) {
+        let root = &self.nodes[0];
+        debug_assert!(root.complete, "finish before all arrivals");
+        m3.extend_from_slice(&root.m3);
+        let any_tail = (0..self.nprocs).any(|qi| self.leaf_to[qi] < log.closed(ProcId::new(qi)));
+        if !any_tail {
+            frontier.extend_from_slice(&root.frontier);
+            seg_ends.extend_from_slice(&root.seg_ends);
+            return;
+        }
+        let mut prev = 0u32;
+        for qi in 0..self.nprocs {
+            let q = ProcId::new(qi);
+            let end = root.seg_ends[qi];
+            frontier.extend_from_slice(&root.frontier[prev as usize..end as usize]);
+            prev = end;
+            for rec in log.range(q, self.leaf_to[qi], log.closed(q)) {
+                frontier.push(rec.id);
+                if collect_m3 {
+                    for n in rec.writes.iter() {
+                        m3.push(n.page);
+                    }
+                }
+            }
+            seg_ends.push(frontier.len() as u32);
+        }
+    }
+
+    /// Ends the episode: clears completion flags, keeps capacity.
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            node.complete = false;
+        }
+    }
 }
 
 /// One lock's distributed state (manager = statically assigned processor;
@@ -402,6 +787,8 @@ pub(crate) struct BarrierState {
     /// Global knowledge at the last barrier release (everything everyone
     /// knew); arrivals only need to ship intervals beyond this.
     pub last_release_vc: VectorClock,
+    /// The fan-in combining tree of the current episode.
+    pub tree: BarrierTree,
 }
 
 /// Per-processor protocol state.
@@ -415,10 +802,9 @@ pub(crate) struct ProcCtl {
     pub dirty: Vec<PageId>,
     /// Per-page state.
     pub pages: Vec<PageCtl>,
-    /// Diffs this processor created.
-    pub diffs: DiffStore,
     /// Bytes of retained (pending) twins under lazy diffing; counted
-    /// toward the garbage-collection trigger alongside `diffs.bytes`.
+    /// toward the garbage-collection trigger alongside the directory's
+    /// per-creator stored-diff bytes ([`Directory::diff_bytes`]).
     pub pending_bytes: u64,
 }
 
@@ -427,7 +813,9 @@ pub(crate) struct ProcCtl {
 pub(crate) struct World {
     pub cfg: DsmConfig,
     pub procs: Vec<ProcCtl>,
-    pub pages: Vec<PageGlobal>,
+    /// Authoritative per-page state and stored diffs, sharded by home
+    /// (shard = `page % nprocs`); indexable by page index.
+    pub dir: Directory,
     /// The shared interval log (happened-before-1 history).
     pub log: IntervalLog,
     /// The run's adaptation policy: every SW/MW mode decision is a
@@ -500,19 +888,16 @@ impl World {
                             ..PageCtl::default()
                         })
                         .collect(),
-                    diffs: DiffStore::default(),
                     pending_bytes: 0,
                 })
                 .collect(),
-            pages: (0..npages)
-                .map(|pg| {
-                    let mut g = PageGlobal::new(nprocs, initial_owner);
-                    if initial_mode == PageMode::Sw && adapt.page_starts_mw(pg) {
-                        g.owner = None;
-                    }
-                    g
-                })
-                .collect(),
+            dir: Directory::new(npages, nprocs, |pg| {
+                let mut g = PageGlobal::new(nprocs, initial_owner);
+                if initial_mode == PageMode::Sw && adapt.page_starts_mw(pg) {
+                    g.owner = None;
+                }
+                g
+            }),
             log: IntervalLog::new(nprocs),
             policy: adapt,
             locks: BTreeMap::new(),
@@ -520,6 +905,7 @@ impl World {
                 arrived: vec![None; nprocs],
                 episodes: 0,
                 last_release_vc: VectorClock::new(nprocs),
+                tree: BarrierTree::new(nprocs),
             },
             gc_requested: false,
             bscratch: BarrierScratch::default(),
@@ -557,7 +943,6 @@ impl World {
     /// capacity intact.
     pub fn put_scratch(&mut self, mut scratch: MergeScratch) {
         scratch.notices.clear();
-        scratch.writers.clear();
         scratch.to_apply.clear();
         self.merge_scratch.push(scratch);
     }
@@ -634,13 +1019,13 @@ impl World {
     /// Marks a page as touched by any processor (for Table 2's shared
     /// page population).
     pub fn touch(&mut self, page: PageId) {
-        self.pages[page.index()].touched = true;
+        self.dir[page.index()].touched = true;
     }
 
     /// Resolves (memoising on first use) the home node of a page under
     /// the configured home policy. `faulter` decides first-touch homes.
     pub fn home_of(&mut self, page: PageId, faulter: ProcId) -> ProcId {
-        let pg = &mut self.pages[page.index()];
+        let pg = &mut self.dir[page.index()];
         if let Some(h) = pg.home {
             return h;
         }
@@ -655,7 +1040,7 @@ impl World {
 
     /// Pages touched during the run.
     pub fn touched_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.touched).count()
+        self.dir.iter().filter(|p| p.touched).count()
     }
 
     /// Per-page final adaptation outcome: is the page touched and in SW
@@ -666,7 +1051,7 @@ impl World {
         let half = self.nprocs() / 2;
         (0..self.cfg.npages)
             .map(|pg| {
-                self.pages[pg].touched
+                self.dir[pg].touched
                     && self
                         .procs
                         .iter()
@@ -693,12 +1078,59 @@ mod tests {
     #[test]
     fn fresh_world_has_proc0_owner_everywhere() {
         let w = world(3);
-        for pg in &w.pages {
+        assert_eq!(w.dir.len(), 3);
+        for pg in w.dir.iter() {
             assert_eq!(pg.owner, Some(ProcId::new(0)));
             assert_eq!(pg.version, 0);
             assert!(!pg.touched);
         }
         assert_eq!(w.touched_pages(), 0);
+    }
+
+    #[test]
+    fn directory_shards_by_page_modulo_and_routes_diffs() {
+        // 4 procs, 9 pages: shard s holds pages {s, s+4, s+8}.
+        let mut w = world(9);
+        let q = ProcId::new(1);
+        let twin = vec![0u8; adsm_mempage::PAGE_SIZE];
+        let id = IntervalId::new(q, 1);
+        // Pages 2 and 6 share shard 2; page 5 lives in shard 1.
+        for pg in [2usize, 6, 5] {
+            let mut c = twin.clone();
+            c[pg] = 1;
+            w.dir
+                .insert_diff(q, PageId::new(pg), id, Diff::encode(&twin, &c));
+        }
+        assert!(w.dir.diff(q, PageId::new(2), id).is_some());
+        assert!(w.dir.diff(q, PageId::new(6), id).is_some());
+        assert!(w.dir.diff(q, PageId::new(5), id).is_some());
+        assert!(w.dir.diff(q, PageId::new(3), id).is_none());
+        assert!(!w.dir.has_diffs(ProcId::new(0), PageId::new(2)));
+        let mut pages: Vec<usize> = w.dir.diff_pages(q).map(|p| p.index()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![2, 5, 6]);
+        let total = w.dir.diff_bytes(q);
+        assert!(total > 0);
+        // Mutating one page's entry leaves the others addressable.
+        w.dir[6].touched = true;
+        assert!(w.dir[6].touched && !w.dir[2].touched);
+        let (n, b) = w.dir.clear_proc_diffs(q);
+        assert_eq!((n, b), (3, total));
+        assert_eq!(w.dir.diff_bytes(q), 0);
+        assert_eq!(w.dir.diff_pages(q).next(), None);
+    }
+
+    #[test]
+    fn barrier_tree_shape_covers_all_procs() {
+        for nprocs in 1..=9usize {
+            let tree = BarrierTree::new(nprocs);
+            assert_eq!(tree.nodes.len(), 2 * nprocs - 1);
+            assert_eq!(tree.nodes[0].lo, 0);
+            assert_eq!(tree.nodes[0].hi, nprocs);
+            for (qi, &leaf) in tree.leaf_of.iter().enumerate() {
+                assert_eq!((tree.nodes[leaf].lo, tree.nodes[leaf].hi), (qi, qi + 1));
+            }
+        }
     }
 
     #[test]

@@ -13,18 +13,29 @@
 //! the park — the permit makes that harmless, where the simulator
 //! backend could simply assert the target was already blocked.
 //!
+//! Parking state is **sharded per task**: each task owns a
+//! cache-padded slot (clock + permit/parked/done flags under the
+//! slot's own mutex + wake condvar), so `unblock` — the hot path of a
+//! barrier departure, which at 256 processors fans out 255 wakes —
+//! locks only the *target's* slot instead of a cluster-global mutex.
+//! Wakers of distinct targets never contend.
+//!
 //! Deadlock is detected positionally, as in the simulator: whenever a
 //! task parks or finishes and every unfinished task is parked without a
 //! permit, nothing can ever wake — the detecting task poisons the
-//! cluster and panics [`EngineError::Deadlock`]. (Threads sleeping on a
-//! shim mutex are invisible to this detector; the engine only sees its
-//! own `block`/`unblock` protocol, which is where application-level
+//! cluster and panics [`EngineError::Deadlock`]. Candidate detection is
+//! a pair of counters (`parked + done == ntasks`); confirmation is a
+//! slow path that locks every slot in ascending order under a single
+//! `detect` mutex, so it runs only on the final transition into a
+//! fully-parked cluster, never on the wake fast path. (Threads sleeping
+//! on a shim mutex are invisible to this detector; the engine only sees
+//! its own `block`/`unblock` protocol, which is where application-level
 //! deadlocks — lost unlocks, missing barrier arrivals — surface.)
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use adsm_netsim::SimTime;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::sched::{deadlock_message, EngineError, ParkHint};
 
@@ -35,94 +46,99 @@ const POISONED: u8 = 1;
 /// Every unfinished task was parked without a permit.
 const DEADLOCKED: u8 = 2;
 
-/// Per-task parking state, all under one small mutex (the engine's
-/// block/unblock traffic is orders of magnitude rarer than turn points,
-/// which never touch it).
-struct Slots {
-    /// Deposited wakeups not yet consumed by a `block`.
-    permits: Vec<bool>,
+/// One task's parking state, guarded by its slot's own mutex.
+#[derive(Clone, Copy)]
+struct SlotState {
+    /// A deposited wakeup not yet consumed by a `block`.
+    permit: bool,
     /// Task is inside `block`, asleep or about to be.
-    parked: Vec<bool>,
+    parked: bool,
     /// Task returned from its program.
-    done: Vec<bool>,
-    /// Why each parked task parked; only read on deadlock.
-    hints: Vec<ParkHint>,
+    done: bool,
+    /// Why the task parked; only read on deadlock.
+    hint: ParkHint,
 }
 
-impl Slots {
-    /// Every parked unfinished task with its hint — the deadlock report.
-    fn parked_tasks(&self) -> Vec<(usize, ParkHint)> {
-        (0..self.done.len())
-            .filter(|&i| !self.done[i] && self.parked[i])
-            .map(|i| (i, self.hints[i]))
-            .collect()
-    }
+/// Per-task slot, padded to its own cache line(s) so the clock
+/// `fetch_add` of one task and the permit handoff of another never
+/// false-share.
+#[repr(align(128))]
+struct TaskSlot {
+    /// Committed virtual time, in ns. Outside the mutex: turn points
+    /// are pure atomics and never touch parking state.
+    clock: AtomicU64,
+    state: Mutex<SlotState>,
+    /// The slot's wake channel; `notify_all` because the shim's parker
+    /// is collision-broadcast anyway.
+    cv: Condvar,
+}
 
-    /// True when no task can ever make progress again: every unfinished
-    /// task is parked with no permit pending.
-    fn deadlocked(&self) -> bool {
-        let mut unfinished = 0usize;
-        for i in 0..self.done.len() {
-            if self.done[i] {
-                continue;
-            }
-            unfinished += 1;
-            if !self.parked[i] || self.permits[i] {
-                return false;
-            }
+impl TaskSlot {
+    fn new() -> Self {
+        TaskSlot {
+            clock: AtomicU64::new(0),
+            state: Mutex::new(SlotState {
+                permit: false,
+                parked: false,
+                done: false,
+                hint: ParkHint::Unknown,
+            }),
+            cv: Condvar::new(),
         }
-        unfinished > 0
     }
 }
 
 pub(crate) struct Inner {
-    clocks: Vec<AtomicU64>,
+    slots: Vec<TaskSlot>,
     /// [`HEALTHY`], [`POISONED`] or [`DEADLOCKED`]; checked lock-free on
     /// the turn-point fast path so a panicking task stops the cluster
     /// promptly, exactly like the simulator's per-turn poison check.
     health: AtomicU8,
-    slots: Mutex<Slots>,
+    /// Tasks currently inside `block` with `parked` set. Together with
+    /// `done_count`, a conservative candidate test: the cluster can
+    /// only be deadlocked when `parked + done == ntasks`, and the task
+    /// whose increment completes that sum runs the confirming slow
+    /// path. `SeqCst` so the completing increment observes all others.
+    parked_count: AtomicUsize,
+    /// Tasks that returned from their program.
+    done_count: AtomicUsize,
+    /// Serialises deadlock confirmation. Lock order, everywhere:
+    /// `detect`, then slot states in ascending task order, then
+    /// `deadlock_detail`.
+    detect: Mutex<()>,
     /// The formatted deadlock report, written by the detecting task just
     /// before it flips `health` to [`DEADLOCKED`], so tasks unwinding
     /// from [`Inner::check_health`] repeat the same detailed message.
-    /// Lock order: `slots` before `deadlock_detail`, everywhere.
     deadlock_detail: Mutex<String>,
-    /// One wake channel per task; `notify_all` because the shim's
-    /// parker is collision-broadcast anyway.
-    cvs: Vec<Condvar>,
 }
 
 impl Inner {
     pub(crate) fn new(ntasks: usize) -> Self {
         Inner {
-            clocks: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..ntasks).map(|_| TaskSlot::new()).collect(),
             health: AtomicU8::new(HEALTHY),
-            slots: Mutex::new(Slots {
-                permits: vec![false; ntasks],
-                parked: vec![false; ntasks],
-                done: vec![false; ntasks],
-                hints: vec![ParkHint::Unknown; ntasks],
-            }),
+            parked_count: AtomicUsize::new(0),
+            done_count: AtomicUsize::new(0),
+            detect: Mutex::new(()),
             deadlock_detail: Mutex::new(String::new()),
-            cvs: (0..ntasks).map(|_| Condvar::new()).collect(),
         }
     }
 
     pub(crate) fn clock_ns(&self, id: usize) -> u64 {
-        self.clocks[id].load(Ordering::Acquire)
+        self.slots[id].clock.load(Ordering::Acquire)
     }
 
     /// Commits `dt` of local virtual time (the threads-mode turn point:
     /// one atomic add, no parking, no scheduling).
     pub(crate) fn commit(&self, id: usize, dt: u64) {
         if dt > 0 {
-            self.clocks[id].fetch_add(dt, Ordering::AcqRel);
+            self.slots[id].clock.fetch_add(dt, Ordering::AcqRel);
         }
     }
 
     /// Raises `id`'s committed clock to at least `t` ns.
     pub(crate) fn raise(&self, id: usize, t: u64) {
-        self.clocks[id].fetch_max(t, Ordering::AcqRel);
+        self.slots[id].clock.fetch_max(t, Ordering::AcqRel);
     }
 
     /// The panic half of the turn-point poison check.
@@ -140,47 +156,107 @@ impl Inner {
         }
     }
 
+    /// True when the counters admit a fully-parked cluster; the caller
+    /// must confirm under [`Inner::confirm_deadlock`]. Counter updates
+    /// and this read are `SeqCst`, so whichever park/finish completes
+    /// the sum is guaranteed to see it.
+    fn deadlock_candidate(&self) -> bool {
+        self.parked_count.load(Ordering::SeqCst) + self.done_count.load(Ordering::SeqCst)
+            >= self.slots.len()
+    }
+
+    /// Slow-path confirmation: under `detect`, locks every slot in
+    /// ascending order and re-evaluates the exact predicate — every
+    /// unfinished task parked with no permit pending. Returns the
+    /// parked-task report if the cluster really is stuck, `None` if a
+    /// permit or unpark raced the candidate test.
+    fn confirm_deadlock(&self) -> Option<Vec<(usize, ParkHint)>> {
+        let _d = self.detect.lock();
+        let guards: Vec<MutexGuard<'_, SlotState>> =
+            self.slots.iter().map(|s| s.state.lock()).collect();
+        let mut unfinished = 0usize;
+        for g in &guards {
+            if g.done {
+                continue;
+            }
+            unfinished += 1;
+            if !g.parked || g.permit {
+                return None;
+            }
+        }
+        if unfinished == 0 {
+            return None;
+        }
+        Some(
+            guards
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| !g.done && g.parked)
+                .map(|(i, g)| (i, g.hint))
+                .collect(),
+        )
+    }
+
     /// Parks the calling task until a permit arrives (consuming it).
     /// Panics [`EngineError::Deadlock`] if parking leaves the cluster
     /// unable to progress, [`EngineError::Poisoned`] if poisoned while
     /// parked.
     pub(crate) fn block(&self, id: usize, hint: ParkHint) {
-        let mut s = self.slots.lock();
+        let slot = &self.slots[id];
+        let mut s = slot.state.lock();
         self.check_health();
-        if s.permits[id] {
+        if s.permit {
             // The wakeup raced ahead of the park: consume and continue.
-            s.permits[id] = false;
+            s.permit = false;
             return;
         }
-        s.parked[id] = true;
-        s.hints[id] = hint;
-        if s.deadlocked() {
-            let msg = deadlock_message(&s.parked_tasks());
-            s.parked[id] = false;
-            *self.deadlock_detail.lock() = msg.clone();
-            self.health.store(DEADLOCKED, Ordering::Release);
-            for cv in &self.cvs {
-                cv.notify_all();
+        s.parked = true;
+        s.hint = hint;
+        self.parked_count.fetch_add(1, Ordering::SeqCst);
+        if self.deadlock_candidate() {
+            // Confirmation needs every slot lock; release ours first
+            // (the `parked` flag keeps us visible to the detector, and
+            // a permit that lands meanwhile is found on re-entry).
+            drop(s);
+            if let Some(report) = self.confirm_deadlock() {
+                let msg = deadlock_message(&report);
+                *self.deadlock_detail.lock() = msg.clone();
+                self.health.store(DEADLOCKED, Ordering::Release);
+                let mut mine = slot.state.lock();
+                mine.parked = false;
+                mine.hint = ParkHint::Unknown;
+                drop(mine);
+                self.parked_count.fetch_sub(1, Ordering::SeqCst);
+                self.notify_all_slots();
+                panic!("{msg}");
             }
-            panic!("{msg}");
+            s = slot.state.lock();
         }
-        while !s.permits[id] && self.health.load(Ordering::Acquire) == HEALTHY {
-            self.cvs[id].wait(&mut s);
+        while !s.permit && self.health.load(Ordering::Acquire) == HEALTHY {
+            slot.cv.wait(&mut s);
         }
-        s.parked[id] = false;
-        s.hints[id] = ParkHint::Unknown;
-        self.check_health();
-        s.permits[id] = false;
+        s.parked = false;
+        s.hint = ParkHint::Unknown;
+        self.parked_count.fetch_sub(1, Ordering::SeqCst);
+        if self.health.load(Ordering::Acquire) == HEALTHY {
+            s.permit = false;
+        } else {
+            drop(s);
+            self.check_health();
+        }
     }
 
     /// Deposits `other`'s permit (waking it if parked) with its clock
-    /// raised to at least `wake_at` ns.
+    /// raised to at least `wake_at` ns. Touches only `other`'s slot:
+    /// concurrent wakers of distinct targets — a barrier departure's
+    /// fan-out — never serialise.
     pub(crate) fn unblock(&self, other: usize, wake_at: u64) {
         self.raise(other, wake_at);
-        let mut s = self.slots.lock();
-        s.permits[other] = true;
+        let slot = &self.slots[other];
+        let mut s = slot.state.lock();
+        s.permit = true;
         drop(s);
-        self.cvs[other].notify_all();
+        slot.cv.notify_all();
     }
 
     /// Marks `id` finished. If that strands every remaining task parked
@@ -188,21 +264,27 @@ impl Inner {
     /// the same observable outcome as the simulator, where `finish`'s
     /// failed pick poisons and the blocked tasks panic on wake.
     pub(crate) fn finish(&self, id: usize) {
-        let mut s = self.slots.lock();
-        s.done[id] = true;
-        if s.deadlocked() {
+        let mut s = self.slots[id].state.lock();
+        s.done = true;
+        drop(s);
+        self.done_count.fetch_add(1, Ordering::SeqCst);
+        if self.deadlock_candidate() && self.confirm_deadlock().is_some() {
             self.health.store(POISONED, Ordering::Release);
-            for cv in &self.cvs {
-                cv.notify_all();
-            }
+            self.notify_all_slots();
         }
     }
 
     pub(crate) fn poison(&self) {
         self.health.store(POISONED, Ordering::Release);
-        let _s = self.slots.lock();
-        for cv in &self.cvs {
-            cv.notify_all();
+        self.notify_all_slots();
+    }
+
+    /// Wakes every slot, taking each lock first so a waiter that saw
+    /// `HEALTHY` is guaranteed to be inside `wait` before the notify.
+    fn notify_all_slots(&self) {
+        for slot in &self.slots {
+            drop(slot.state.lock());
+            slot.cv.notify_all();
         }
     }
 
@@ -211,9 +293,9 @@ impl Inner {
     }
 
     pub(crate) fn clocks(&self) -> Vec<SimTime> {
-        self.clocks
+        self.slots
             .iter()
-            .map(|c| SimTime::from_ns(c.load(Ordering::Acquire)))
+            .map(|s| SimTime::from_ns(s.clock.load(Ordering::Acquire)))
             .collect()
     }
 }
