@@ -249,6 +249,10 @@ pub struct RunOptions {
     /// Replay a recorded delivery journal instead of drawing from a
     /// scenario (simulator backend only; exclusive with `scenario`).
     pub replay: Option<adsm_core::DeliveryJournal>,
+    /// Replicate every HLRC home onto a backup node fed by the same
+    /// flush stream (prerequisite for `HomeFailover` fault events);
+    /// other protocols ignore it.
+    pub hlrc_backup: bool,
 }
 
 impl RunOptions {
@@ -276,6 +280,7 @@ impl RunOptions {
         if let Some(journal) = &self.replay {
             b = b.replay_journal(journal.clone());
         }
+        b = b.hlrc_backup(self.hlrc_backup);
         b
     }
 }

@@ -13,6 +13,7 @@
 //!                             with --scale large: the 8..256-proc
 //!                             barrier fan-in sweep, BENCH_scale.json)
 //!          scenarios         (also writes BENCH_scenarios.json)
+//!          crash-matrix      (also writes BENCH_crash.json)
 //!
 //! --backend  execution backend(s) for bench-throughput: the
 //!          deterministic simulator, real OS threads, or both
@@ -21,7 +22,8 @@
 //! --smoke  CI-budget runs: bench-throughput at tiny scale / 4 procs
 //!          (at --scale large: the sweep shrinks to 8/64 procs);
 //!          scenarios on a reduced app x scenario grid (2 apps, 3
-//!          corpus scenarios) at tiny scale / 4 procs
+//!          corpus scenarios) at tiny scale / 4 procs;
+//!          crash-matrix on 2 apps (SOR, TSP) at tiny scale / 4 procs
 //! --check  fail (exit 1) when a benchmark regresses past the seed
 //!          floors (sparse encode speedup, allocs/interval, fetch-path
 //!          clones, merge speedup, pool copy ratio; for
@@ -31,7 +33,8 @@
 //!          --scale large sweep the sub-linear fan-in growth gate
 //!          (64-proc p50 < 4x the 8-proc p50, per backend); for
 //!          scenarios the verification, replay-identity and
-//!          fault-free-baseline gates of every cell)
+//!          fault-free-baseline gates of every cell; for crash-matrix
+//!          those same three gates plus fault-actually-fired per cell)
 //! ```
 //!
 //! The emitted JSON files are documented field-by-field in
@@ -112,7 +115,7 @@ fn parse_args() -> Result<Options, String> {
                      \x20      [related ablation-quantum ablation-wg ablation-gc\n\
                      \x20       ablation-migratory ablation-policies ablations\n\
                      \x20       bench-hotpaths\n\
-                     \x20       bench-throughput scenarios]\n\
+                     \x20       bench-throughput scenarios crash-matrix]\n\
                      \x20      [--scale tiny|small|paper|large] [--nprocs N] [--apps SOR,IS,...]\n\
                      \x20      [--backend sim|threads|both] [--smoke] [--check]"
                 );
@@ -124,6 +127,7 @@ fn parse_args() -> Result<Options, String> {
                 || t == "bench-hotpaths"
                 || t == "bench-throughput"
                 || t == "scenarios"
+                || t == "crash-matrix"
                 || t == "related"
                 || t == "sensitivity"
                 || t == "scaling"
@@ -457,6 +461,42 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("scenario gate: pass ({} cells)", report.cells.len());
+        }
+    }
+
+    // Crash-recovery matrix: the applications under the three
+    // scheduled fault shapes (instant-restart crash, crash with a down
+    // window, HLRC home failover), gating sequential correctness,
+    // journal-replay bit-identity, the fault-free no-op property and
+    // that every scheduled fault actually fired. `--smoke` shrinks to
+    // 2 apps (one barrier-structured, one locks-only).
+    if opts.targets.iter().any(|t| t == "crash-matrix") {
+        let (scale, nprocs, apps) = if opts.smoke {
+            (Scale::Tiny, 4, vec![App::Sor, App::Tsp])
+        } else {
+            (opts.scale, opts.nprocs, opts.apps.clone())
+        };
+        eprintln!(
+            "running crash-recovery matrix ({} apps x 3 fault shapes, {scale} scale, \
+             {nprocs} procs)...",
+            apps.len()
+        );
+        let report = adsm_bench::measure_crash_matrix(nprocs, scale, &apps);
+        println!("{}", report.summary_table());
+        let json = report.to_json();
+        match std::fs::write("BENCH_crash.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_crash.json"),
+            Err(e) => eprintln!("could not write BENCH_crash.json: {e}"),
+        }
+        if opts.check {
+            let fails = report.failures();
+            if !fails.is_empty() {
+                for f in &fails {
+                    eprintln!("REGRESSION: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            eprintln!("crash-matrix gate: pass ({} cells)", report.cells.len());
         }
     }
 

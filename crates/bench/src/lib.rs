@@ -21,6 +21,7 @@ use adsm_core::{ProtocolKind, SimTime};
 
 mod ablation;
 pub mod alloc_count;
+pub mod crash_matrix;
 pub mod hotpaths;
 pub mod scale;
 pub mod scenarios;
@@ -30,6 +31,7 @@ pub use ablation::{
     ablation_diffing, ablation_gc, ablation_migratory, ablation_network, ablation_policies,
     ablation_quantum, ablation_wg, related, scaling, sensitivity,
 };
+pub use crash_matrix::{measure_crash_matrix, CrashCell, CrashReport, FaultShape};
 pub use hotpaths::{measure_hotpaths, HotpathReport};
 pub use scale::{measure_scale, ScaleReport};
 pub use scenarios::{measure_scenarios, ScenarioCell, ScenarioReport};

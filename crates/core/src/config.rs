@@ -275,6 +275,14 @@ pub struct DsmConfig {
     /// encoding is the committed baseline); ignored by every protocol
     /// but [`ProtocolKind::Hlrc`].
     pub hlrc_lazy_flush: bool,
+    /// HLRC comparator: replicate every home on a backup processor
+    /// (`(home + 1) % nprocs`). Each diff flush is also shipped to and
+    /// applied at the backup, so a `HomeFailover` fault can promote the
+    /// backup to serving home with no state transfer at failover time
+    /// (SC-ABD-style replicated stable storage). Off by default;
+    /// required for `HomeFailover` faults under
+    /// [`ProtocolKind::Hlrc`]; ignored by every other protocol.
+    pub hlrc_backup: bool,
     /// Schedule-fuzzing seed: when set, the engine picks the next
     /// processor pseudo-randomly at every turn point instead of by least
     /// virtual clock. Results of data-race-free programs must not change;
@@ -328,6 +336,7 @@ impl DsmConfig {
             migratory_opt: false,
             home_policy: HomePolicy::default(),
             hlrc_lazy_flush: false,
+            hlrc_backup: false,
             schedule_fuzz: None,
             diff_strategy: DiffStrategy::default(),
             adapt_policy: None,

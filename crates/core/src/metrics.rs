@@ -120,6 +120,26 @@ pub struct ProtocolStats {
     /// encode of their own; with no reader demand at all this stays at
     /// **zero** (asserted in `allocation_free.rs`).
     pub lazy_flush_encodes: u64,
+    /// Message copies discarded by the Hermes-style epoch fence: the
+    /// destination's incarnation was dead (crashed, not yet restarted)
+    /// when the copy arrived. Mirrors the delivery layer's
+    /// [`NetStats::epoch_drops`](adsm_netsim::NetStats); **zero** on
+    /// every crash-free run (asserted in `allocation_free.rs`).
+    pub epoch_drops: u64,
+    /// Process crashes taken (one per `ProcCrash` fault that fired).
+    pub proc_crashes: u64,
+    /// Post-restart page fetches re-acquiring a copy the crash wiped:
+    /// the restarted processor held the page before the crash and had
+    /// to fetch it again on first access. Counted once per wiped page,
+    /// on its first post-crash fetch. Zero on crash-free runs.
+    pub recovery_refetches: u64,
+    /// Pages whose HLRC home moved to the replicated backup when a
+    /// `HomeFailover` fault fired. Zero on failover-free runs.
+    pub failover_promotions: u64,
+    /// Total virtual time restarted processors spent down + recovering
+    /// (restart time minus crash time, summed over crashes, plus the
+    /// recovery re-integration costs). Zero on crash-free runs.
+    pub recovery_ns: u64,
     /// Host wall-clock cost of `validate_page` calls (the paper's merge
     /// procedure). Only populated when
     /// [`measure_host_costs`](crate::DsmBuilder::measure_host_costs) is

@@ -52,9 +52,12 @@ pub(crate) fn write_fault(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
         fetch_from_home(ctx, p, page);
     }
     let home = ctx.w.home_of(page, p);
-    if p == home {
+    if p == home && !ctx.w.cfg.hlrc_backup {
         // The home writes in place: its frame *is* the canonical copy,
         // so no twin is needed and the interval close flushes nothing.
+        // With home replication the in-place shortcut is off: the
+        // home's writes must travel the same twin-and-flush stream so
+        // the backup store stays bit-identical to the home frame.
         ctx.mems[p.index()]
             .lock()
             .set_rights(page, AccessRights::Write);
@@ -147,6 +150,14 @@ pub(crate) fn fetch_from_home(ctx: &mut Ctx<'_>, p: ProcId, page: PageId) {
     let pc = &mut ctx.w.procs[pidx].pages[pgidx];
     pc.missing.clear();
     pc.has_copy = true;
+    if pc.refetch_pending {
+        pc.refetch_pending = false;
+        // The home's own frame survived on the replica; only a real
+        // fetch counts as recovering lost content.
+        if p != home {
+            ctx.w.proto.recovery_refetches += 1;
+        }
+    }
     ctx.w.dir[pgidx].copyset[pidx] = true;
 }
 
@@ -170,12 +181,42 @@ pub(crate) fn flush_diff_to_home(
     w.proto.diffs_dropped(1, wire as u64);
     w.proto.home_flushes += 1;
 
+    // Home replication: the same flush stream feeds the backup, so its
+    // store stays bit-identical to the home frame (every home write is
+    // twinned under `hlrc_backup`, so no modification bypasses this
+    // path). The writer pays the extra send; the backup-side apply is
+    // deferred like the home's.
+    let backup_send = if w.cfg.hlrc_backup {
+        let backup = ProcId::new((home.index() + 1) % w.cfg.nprocs);
+        if w.backup_store.len() < w.cfg.npages {
+            w.backup_store.resize_with(w.cfg.npages, || None);
+        }
+        if w.backup_store[page.index()].is_none() {
+            // First flush of this page: the replicated copy starts from
+            // the same all-zeros image every frame starts from.
+            w.backup_store[page.index()] = Some(w.pool.get_copy(&[0u8; PAGE_SIZE]));
+        }
+        diff.apply(w.backup_store[page.index()].as_mut().expect("just grown"));
+        if backup == p {
+            adsm_netsim::SimTime::ZERO
+        } else {
+            let send = w.msg(MsgKind::DiffFlush, wire, p, backup, now);
+            let apply = w.cfg.cost.diff_apply(diff.modified_bytes()) + w.cfg.cost.service_interrupt;
+            w.deferred_costs.push((backup.index(), apply));
+            send
+        }
+    } else {
+        adsm_netsim::SimTime::ZERO
+    };
+
     if home == p {
         // Cannot happen for twinned pages (the home writes in place),
         // except when a page's home was resolved lazily *after* this
-        // processor already twinned it. Applying locally is then free.
+        // processor already twinned it — or under `hlrc_backup`, where
+        // the home twins like everyone else. Applying locally is free;
+        // only the backup send (if any) hits the wire.
         diff.apply(mems[p.index()].lock().page_mut(page));
-        return adsm_netsim::SimTime::ZERO;
+        return backup_send;
     }
 
     let send = w.msg(MsgKind::DiffFlush, wire, p, home, now);
@@ -194,7 +235,7 @@ pub(crate) fn flush_diff_to_home(
     if let Some(twin) = w.procs[home.index()].pages[page.index()].twin.as_mut() {
         diff.apply(twin);
     }
-    send
+    send + backup_send
 }
 
 /// Lazy flushing: encodes and ships every *deferred* diff of `page` to

@@ -1094,6 +1094,13 @@ pub(crate) fn fetch_page_from(ctx: &mut Ctx<'_>, p: ProcId, q: ProcId, page: Pag
         }
     }
     ctx.w.proto.pages_transferred += 1;
+    // First fetch of a page the crashed incarnation held: the page
+    // content is being recovered.
+    let pc = &mut ctx.w.procs[p.index()].pages[page.index()];
+    if pc.refetch_pending {
+        pc.refetch_pending = false;
+        ctx.w.proto.recovery_refetches += 1;
+    }
 
     // Read-sharing probe (WFS+WG, §3.3): a page becomes read-write
     // shared as soon as another processor fetches it from its writing

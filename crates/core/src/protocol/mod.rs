@@ -13,6 +13,8 @@
 //!   * [`adaptive`] — the paper's adaptive fault paths (§3).
 //!   * [`sync`] — locks and barriers (write-notice propagation).
 //!   * [`gc`] — diff garbage collection at barriers (§2.2, §3.1.1).
+//!   * [`recovery`] — crash recovery from the replicated interval log
+//!     and HLRC home failover (SC-ABD / Hermes-style extensions).
 //!   * [`sc`] — the sequentially-consistent comparator (IVY-style; §7).
 //!   * [`hlrc`] — the home-based LRC comparator (Zhou et al.; §7).
 
@@ -23,6 +25,7 @@ pub(crate) mod hlrc;
 pub(crate) mod lrc;
 pub(crate) mod mw;
 pub(crate) mod policy;
+pub(crate) mod recovery;
 pub(crate) mod sc;
 pub(crate) mod sw;
 pub(crate) mod sync;

@@ -134,6 +134,23 @@ pub(crate) fn release(ctx: &mut Ctx<'_>, p: ProcId, lock_id: u64) {
         let wake = ctx.now() + c_grant;
         ctx.task.unblock(r.index(), wake);
     }
+
+    // A lock release is a durable-commit point too — the only kind a
+    // locks-only program ever reaches — so scheduled crash and failover
+    // events fire here as well as at barriers (whichever commit point
+    // the victim hits first). The interval is closed explicitly before
+    // the crash: a release with no queued waiter leaves it open, and
+    // the crash model requires the arriving interval in the replicated
+    // log.
+    if let Some(k) = super::recovery::pending_crash(ctx.w, p, ctx.now()) {
+        let now = ctx.now();
+        let close_cost = lrc::close_interval(ctx.w, ctx.mems, p, now);
+        ctx.charge(close_cost);
+        super::recovery::crash_at_commit(ctx, p, k);
+    }
+    if let Some(k) = super::recovery::pending_failover(ctx.w, ctx.now()) {
+        super::recovery::failover_at_commit(ctx, p, k);
+    }
 }
 
 /// Outcome of a barrier arrival.
@@ -182,6 +199,18 @@ pub(crate) fn barrier_arrive(
         .msg(MsgKind::BarrierArrive, arrive_bytes, p, manager, now);
     ctx.charge(c_arr);
 
+    // Scheduled crash: fires at the victim's first barrier arrival at
+    // or after the scheduled instant, after the arriving interval was
+    // committed to the replicated log (the durable commit point) and
+    // before the arrival is recorded — the outage and the recovery
+    // re-integration delay this processor's arrival, which is what
+    // makes the others wait out the crash.
+    if !ctx.w.crashes.is_empty() {
+        if let Some(k) = super::recovery::pending_crash(ctx.w, p, ctx.now()) {
+            super::recovery::crash_at_commit(ctx, p, k);
+        }
+    }
+
     let arrival = ctx.now();
     ctx.w.barrier.arrived[p.index()] = Some(arrival);
 
@@ -227,6 +256,15 @@ pub(crate) fn barrier_arrive(
     ctx.task.advance_to(t0);
     let cost_model = ctx.w.cfg.cost.clone();
     ctx.charge(cost_model.service_interrupt);
+
+    // Scheduled HLRC home failover: fires at a barrier completion (all
+    // intervals closed, no open write sessions) before the fan-down,
+    // so notice integration below already sees the promoted homes.
+    if !ctx.w.failovers.is_empty() {
+        if let Some(k) = super::recovery::pending_failover(ctx.w, ctx.now()) {
+            super::recovery::failover_at_commit(ctx, p, k);
+        }
+    }
 
     // The tree root holds the episode's notice frontier — every
     // interval closed since the last barrier release, in (writer, seq)
@@ -593,6 +631,35 @@ mod tests {
             .collect()
     }
 
+    /// The record sequence crash recovery re-integrates into a
+    /// restarted `p`: `recovery::crash_at_commit`'s phase-4 walk is
+    /// `integrate_from` against a global clock set to the log horizon
+    /// (`closed(q)` per writer), run with `p`'s durable pre-crash
+    /// clock intact.
+    fn recovery_shipment(w: &World, p: usize) -> Vec<(IntervalId, usize)> {
+        let mut horizon = VectorClock::new(w.nprocs());
+        for q in ProcId::all(w.nprocs()) {
+            horizon.set(q, w.log.closed(q));
+        }
+        pairwise_shipment(w, p, &horizon)
+    }
+
+    /// Flat oracle for recovery: one `integrate_frontier`-style sweep
+    /// over the FULL replicated log — every writer from sequence zero,
+    /// not from the barrier base — filtered by `p`'s durable clock
+    /// coverage.
+    fn full_log_shipment(w: &World, p: usize) -> Vec<(IntervalId, usize)> {
+        let mut out = Vec::new();
+        for q in ProcId::all(w.nprocs()) {
+            for rec in w.log.range(q, 0, w.log.closed(q)) {
+                if !w.procs[p].vc.covers(rec.id) {
+                    out.push((rec.id, rec.wire_size()));
+                }
+            }
+        }
+        out
+    }
+
     /// Drives the combining tree over an explicit arrival order.
     /// `inject_after` positions model lock grants proxy-closing the
     /// just-arrived processor's next interval on its behalf: the
@@ -751,6 +818,42 @@ mod tests {
                 let pair_bytes: usize = pair.iter().map(|&(_, b)| b).sum();
                 let front_bytes: usize = front.iter().map(|&(_, b)| b).sum();
                 prop_assert_eq!(pair_bytes, front_bytes);
+            }
+        }
+
+        /// Crash recovery's re-integration walk ships — for every
+        /// processor and random history — exactly the full-log flat
+        /// frontier filtered by the victim's durable clock: the same
+        /// records, in the same order, totalling the same bytes. Every
+        /// shipped record is strictly above the durable clock (nothing
+        /// the victim already integrated is replayed), and the durable
+        /// clock plus the shipment together reach the log horizon for
+        /// every writer (no gaps in the rebuilt view).
+        #[test]
+        fn recovery_reintegration_equals_full_log_frontier(h in history_strategy()) {
+            let w = build_world(&h);
+            for p in 0..h.nprocs {
+                let ship = recovery_shipment(&w, p);
+                let flat = full_log_shipment(&w, p);
+                prop_assert_eq!(&ship, &flat, "proc {} recovery shipment diverged", p);
+
+                let mut reached = w.procs[p].vc.clone();
+                for &(id, _) in &ship {
+                    // Never re-deliver what the durable clock covers,
+                    // and never skip: per-writer delivery is dense.
+                    prop_assert!(id.seq > w.procs[p].vc.get(id.proc));
+                    prop_assert_eq!(reached.get(id.proc) + 1, id.seq);
+                    reached.set(id.proc, id.seq);
+                }
+                for q in ProcId::all(h.nprocs) {
+                    prop_assert_eq!(
+                        reached.get(q),
+                        w.log.closed(q),
+                        "proc {} writer {} short of the horizon",
+                        p,
+                        q.index()
+                    );
+                }
             }
         }
     }

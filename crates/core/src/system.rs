@@ -152,6 +152,32 @@ impl DsmBuilder {
         self
     }
 
+    /// Replicates every HLRC home: the interval-close flush stream also
+    /// feeds a backup node (`(home + 1) % nprocs`), whose stored copy
+    /// stays bit-identical to the home frame — the replicated stable
+    /// storage a [`FaultKind::HomeFailover`](adsm_netsim::FaultKind)
+    /// event promotes. The home's own writes lose their write-in-place
+    /// shortcut (they must travel the flush stream too), so replication
+    /// costs twinning at the home plus one extra flush send per diff.
+    /// Off by default; every protocol but [`ProtocolKind::Hlrc`]
+    /// ignores it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adsm_core::{Dsm, ProtocolKind};
+    ///
+    /// let dsm = Dsm::builder(ProtocolKind::Hlrc)
+    ///     .nprocs(4)
+    ///     .hlrc_backup(true)
+    ///     .build();
+    /// assert_eq!(dsm.protocol(), ProtocolKind::Hlrc);
+    /// ```
+    pub fn hlrc_backup(mut self, on: bool) -> Self {
+        self.cfg.hlrc_backup = on;
+        self
+    }
+
     /// Selects when multiple-writer diffs are encoded:
     /// [`DiffStrategy::Eager`](crate::DiffStrategy::Eager) (default)
     /// encodes at interval close; `Lazy` retains the twin and encodes on
@@ -424,6 +450,56 @@ impl Dsm {
             // with a journal that does not fit this cluster.
             if let Err(e) = Delivery::replay((**journal).clone(), cfg.nprocs) {
                 return Err(RunError::BadConfig(format!("replay journal rejected: {e}")));
+            }
+        }
+        {
+            // Crash/failover events need protocol machinery to recover
+            // with: the replicated interval log (any LRC-family
+            // protocol) for a restart, the replicated home store for a
+            // failover. Reject configurations that would silently
+            // swallow a scheduled fault.
+            let faults: &[adsm_netsim::Fault] = match (&cfg.replay, &cfg.scenario) {
+                (Some(journal), _) => &journal.faults,
+                (None, Some(scenario)) => &scenario.faults,
+                (None, None) => &[],
+            };
+            for f in faults {
+                match f.kind {
+                    adsm_netsim::FaultKind::ProcCrash { proc }
+                    | adsm_netsim::FaultKind::ProcRestart { proc } => {
+                        if !cfg.protocol.is_lrc() {
+                            return Err(RunError::BadConfig(
+                                "crash recovery replays the replicated interval log, which \
+                                 only the LRC-family protocols keep"
+                                    .into(),
+                            ));
+                        }
+                        if proc as usize >= cfg.nprocs {
+                            return Err(RunError::BadConfig(format!(
+                                "crash/restart fault names processor {proc}, but the cluster \
+                                 has {} processors",
+                                cfg.nprocs
+                            )));
+                        }
+                    }
+                    adsm_netsim::FaultKind::HomeFailover { home } => {
+                        if cfg.protocol != ProtocolKind::Hlrc || !cfg.hlrc_backup {
+                            return Err(RunError::BadConfig(
+                                "home failover promotes the replicated backup home; enable \
+                                 it with ProtocolKind::Hlrc and .hlrc_backup(true)"
+                                    .into(),
+                            ));
+                        }
+                        if home as usize >= cfg.nprocs {
+                            return Err(RunError::BadConfig(format!(
+                                "home failover names processor {home}, but the cluster has \
+                                 {} processors",
+                                cfg.nprocs
+                            )));
+                        }
+                    }
+                    _ => {}
+                }
             }
         }
         cfg.npages = page_count(self.cursor).max(1);

@@ -76,6 +76,11 @@ pub(crate) struct PageCtl {
     /// encoded and shipped to the home only when the home's copy is
     /// actually demanded (`hlrc::force_flush_page`).
     pub flush_pending: Option<PageBuf>,
+    /// This processor held a copy of the page when it crashed; the copy
+    /// was wiped with the incarnation. The first post-restart fetch of
+    /// the page clears the flag and counts one
+    /// [`ProtocolStats::recovery_refetches`].
+    pub refetch_pending: bool,
 }
 
 /// Authoritative (directory) per-page state.
@@ -768,6 +773,40 @@ impl BarrierTree {
     }
 }
 
+/// One scheduled processor crash, resolved from the scenario's (or the
+/// replayed journal's) fault schedule. The crash *takes effect* at the
+/// processor's first barrier arrival at or after `at`: the arriving
+/// interval is committed to the replicated interval log first (SC-ABD
+/// style — the log and the directory's diff stores model replicated
+/// stable storage), then the incarnation's cached state is wiped, its
+/// epoch bumped, and its clock advanced to `restart`, where the new
+/// incarnation rebuilds its view from the log.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CrashEvent {
+    /// The crashing processor.
+    pub proc: ProcId,
+    /// Scheduled death instant (virtual time).
+    pub at: SimTime,
+    /// First instant of the restarted incarnation
+    /// ([`CrashWindow::end`](adsm_netsim::CrashWindow)).
+    pub restart: SimTime,
+    /// The crash has been applied (each event fires exactly once).
+    pub fired: bool,
+}
+
+/// One scheduled HLRC home failover: at the first barrier *completion*
+/// at or after `at`, every page homed at `home` is promoted to its
+/// replicated backup and readers are redirected through the directory.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FailoverEvent {
+    /// The home processor being decommissioned.
+    pub home: ProcId,
+    /// Scheduled failover instant (virtual time).
+    pub at: SimTime,
+    /// The failover has been applied.
+    pub fired: bool,
+}
+
 /// One lock's distributed state (manager = statically assigned processor;
 /// grants come from the last releaser, as in TreadMarks).
 #[derive(Clone, Debug)]
@@ -850,6 +889,24 @@ pub(crate) struct World {
     /// run has a scenario or a replay journal configured. `None` means
     /// perfect delivery at zero overhead.
     pub delivery: Option<Delivery>,
+    /// Scheduled processor crashes (scenario or replayed journal), in
+    /// schedule order. Empty on crash-free runs.
+    pub crashes: Vec<CrashEvent>,
+    /// Scheduled HLRC home failovers. Empty unless the scenario asks.
+    pub failovers: Vec<FailoverEvent>,
+    /// Per-processor incarnation numbers (Hermes-style epochs). Start at
+    /// 0; each applied crash bumps the victim's entry. Mirrored into the
+    /// delivery layer's time-based fence — kept here for the recovery
+    /// path and for tests.
+    pub epochs: Vec<u32>,
+    /// Homes decommissioned by a fired [`FailoverEvent`]: `home_of`
+    /// redirects pages that would resolve there to the backup
+    /// `(h + 1) % nprocs`.
+    pub failed_homes: Vec<bool>,
+    /// HLRC home replication ([`DsmConfig::hlrc_backup`]): the backup
+    /// copy of every home's frame, maintained by the replicated flush
+    /// stream. Indexed by page; `None` until the page's first flush.
+    pub backup_store: Vec<Option<PageBuf>>,
 }
 
 impl World {
@@ -925,6 +982,46 @@ impl World {
                 (None, Some(scenario)) => Some(Delivery::record(scenario.clone(), nprocs)),
                 (None, None) => None,
             },
+            crashes: {
+                // A recorded scenario and a replayed journal carry the
+                // same fault schedule; either source yields the same
+                // protocol-level crash events.
+                let faults: &[adsm_netsim::Fault] = match (&cfg.replay, &cfg.scenario) {
+                    (Some(journal), _) => &journal.faults,
+                    (None, Some(scenario)) => &scenario.faults,
+                    (None, None) => &[],
+                };
+                adsm_netsim::crash_windows(faults)
+                    .iter()
+                    .map(|w| CrashEvent {
+                        proc: ProcId::new(w.proc as usize),
+                        at: w.start,
+                        restart: w.end,
+                        fired: false,
+                    })
+                    .collect()
+            },
+            failovers: {
+                let faults: &[adsm_netsim::Fault] = match (&cfg.replay, &cfg.scenario) {
+                    (Some(journal), _) => &journal.faults,
+                    (None, Some(scenario)) => &scenario.faults,
+                    (None, None) => &[],
+                };
+                faults
+                    .iter()
+                    .filter_map(|f| match f.kind {
+                        adsm_netsim::FaultKind::HomeFailover { home } => Some(FailoverEvent {
+                            home: ProcId::new(home as usize),
+                            at: f.at,
+                            fired: false,
+                        }),
+                        _ => None,
+                    })
+                    .collect()
+            },
+            epochs: vec![0; nprocs],
+            failed_homes: vec![false; nprocs],
+            backup_store: Vec::new(),
             cfg,
         }
     }
@@ -1005,6 +1102,7 @@ impl World {
             self.deferred_costs
                 .push((dst.index(), self.cfg.cost.service_interrupt));
         }
+        self.proto.epoch_drops += out.epoch_drops as u64;
         base + out.extra
     }
 
@@ -1024,16 +1122,23 @@ impl World {
 
     /// Resolves (memoising on first use) the home node of a page under
     /// the configured home policy. `faulter` decides first-touch homes.
+    /// Homes that would land on a failed-over processor redirect to the
+    /// backup `(h + 1) % nprocs` — a failover rewrites already-resolved
+    /// entries, and this covers pages first resolved *after* it fired.
     pub fn home_of(&mut self, page: PageId, faulter: ProcId) -> ProcId {
+        let nprocs = self.cfg.nprocs;
         let pg = &mut self.dir[page.index()];
         if let Some(h) = pg.home {
             return h;
         }
-        let h = match self.cfg.home_policy {
-            crate::HomePolicy::RoundRobin => ProcId::new(page.index() % self.cfg.nprocs),
+        let mut h = match self.cfg.home_policy {
+            crate::HomePolicy::RoundRobin => ProcId::new(page.index() % nprocs),
             crate::HomePolicy::FirstTouch => faulter,
-            crate::HomePolicy::Fixed(p) => ProcId::new(p % self.cfg.nprocs),
+            crate::HomePolicy::Fixed(p) => ProcId::new(p % nprocs),
         };
+        if self.failed_homes[h.index()] {
+            h = ProcId::new((h.index() + 1) % nprocs);
+        }
         pg.home = Some(h);
         h
     }

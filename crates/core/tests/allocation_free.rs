@@ -462,6 +462,100 @@ fn perfect_scenario_steady_state_adds_no_allocations_or_retransmissions() {
     }
 }
 
+/// The crash-recovery machinery is free until a fault actually fires:
+/// a run with a crash *armed* but never reached (scheduled far past the
+/// end of execution) performs exactly the plain run's page-buffer
+/// allocations, and every recovery counter — epoch drops, crashes,
+/// refetches, failover promotions, recovery time — stays pinned at
+/// zero. The commit-point scan is a compare against an empty/expired
+/// schedule, not a heap structure.
+#[test]
+fn unfired_crash_machinery_adds_no_allocations_and_no_counters() {
+    use adsm_core::{Fault, FaultKind, Scenario};
+
+    fn assert_recovery_counters_zero(r: &RunReport, what: &str) {
+        assert_eq!(r.proto.epoch_drops, 0, "{what}: epoch_drops");
+        assert_eq!(r.proto.proc_crashes, 0, "{what}: proc_crashes");
+        assert_eq!(r.proto.recovery_refetches, 0, "{what}: recovery_refetches");
+        assert_eq!(
+            r.proto.failover_promotions, 0,
+            "{what}: failover_promotions"
+        );
+        assert_eq!(r.proto.recovery_ns, 0, "{what}: recovery_ns");
+        assert_eq!(r.net.epoch_drops(), 0, "{what}: net epoch_drops");
+    }
+
+    fn run_sor_armed(protocol: ProtocolKind, iters: usize) -> RunReport {
+        let mut s = Scenario::perfect();
+        s.name = "armed-but-unfired".to_string();
+        // Far beyond any tiny run's virtual end time: the schedule is
+        // live the whole run but no commit point ever reaches it.
+        s.faults = vec![Fault {
+            at: SimTime::from_ns(u64::MAX / 2),
+            duration: SimTime::ZERO,
+            kind: FaultKind::ProcCrash { proc: 1 },
+        }];
+        let mut dsm = Dsm::builder(protocol).nprocs(NPROCS).scenario(s).build();
+        let grid = dsm.alloc_page_aligned::<u64>(N * N);
+        let outcome = dsm
+            .run(move |p| {
+                let rows = N / p.nprocs();
+                let lo = p.index() * rows;
+                let hi = lo + rows;
+                for it in 0..iters {
+                    for colour in 0..2usize {
+                        for r in lo..hi {
+                            if r % 2 != colour {
+                                continue;
+                            }
+                            for c in 0..N {
+                                let up = if r == 0 {
+                                    0
+                                } else {
+                                    grid.get(p, (r - 1) * N + c)
+                                };
+                                let down = if r + 1 == N {
+                                    0
+                                } else {
+                                    grid.get(p, (r + 1) * N + c)
+                                };
+                                grid.set(p, r * N + c, up / 2 + down / 2 + (it + colour) as u64);
+                            }
+                        }
+                        p.compute(SimTime::from_us(20));
+                        p.barrier();
+                    }
+                }
+            })
+            .expect("armed-crash SOR run completes");
+        outcome.report
+    }
+
+    for protocol in [ProtocolKind::Mw, ProtocolKind::Wfs] {
+        let plain = run_sor(protocol, 9);
+        assert_recovery_counters_zero(&plain, "plain run");
+
+        let short = run_sor_armed(protocol, 3);
+        let long = run_sor_armed(protocol, 9);
+        assert_recovery_counters_zero(&long, "armed run");
+        // Zero extra page-buffer allocations: equal to the plain run,
+        // flat across extra iterations.
+        assert_eq!(
+            long.proto.pool_pages_created, plain.proto.pool_pages_created,
+            "{protocol}: an unfired crash schedule allocated page buffers"
+        );
+        assert_eq!(
+            long.proto.pool_pages_created, short.proto.pool_pages_created,
+            "{protocol}: extra armed-run iterations allocated page buffers"
+        );
+        // And identical protocol work: the armed schedule perturbed
+        // nothing on the fault-free path.
+        assert_eq!(long.proto.read_faults, plain.proto.read_faults);
+        assert_eq!(long.proto.write_faults, plain.proto.write_faults);
+        assert_eq!(long.proto.diffs_created, plain.proto.diffs_created);
+    }
+}
+
 /// The pool's working set stays bounded by the live twin population
 /// instead of scaling with run length: created buffers are far fewer
 /// than the buffer demand (hits + misses).

@@ -150,6 +150,7 @@ fn replay_rejects_journal_outside_cluster() {
         seq: 1,
         kind: adsm_core::MsgKind::PageRequest,
         drops: 1,
+        edrops: 0,
         wait: SimTime::from_us(1),
         delay: SimTime::ZERO,
         dup: false,

@@ -15,7 +15,7 @@
 //! as extra one-way latency.
 
 use crate::replay::{DeliveryJournal, JournalEvent};
-use crate::scenario::{FaultKind, Scenario};
+use crate::scenario::{crash_windows, CrashWindow, FaultKind, Scenario};
 use crate::{MsgKind, NetStats, SimTime};
 use std::sync::Arc;
 
@@ -28,6 +28,10 @@ pub struct DeliveryOutcome {
     /// The receiver saw a suppressed duplicate copy (the caller should
     /// charge it a service interrupt for the discard).
     pub duplicated: bool,
+    /// Copies the epoch fence discarded because the destination's
+    /// incarnation was dead when they arrived (each cost the sender a
+    /// retry, included in `extra`).
+    pub epoch_drops: u32,
 }
 
 impl DeliveryOutcome {
@@ -35,6 +39,7 @@ impl DeliveryOutcome {
     pub const CLEAN: DeliveryOutcome = DeliveryOutcome {
         extra: SimTime::ZERO,
         duplicated: false,
+        epoch_drops: 0,
     };
 }
 
@@ -79,6 +84,10 @@ pub struct Delivery {
     /// False for all-zero-rates scenarios: `transmit` returns immediately
     /// with no draws, no journal growth, and no allocations.
     chaotic: bool,
+    /// Resolved processor down-time spans from the scenario's crash
+    /// schedule (empty for crash-free scenarios). Transmissions landing
+    /// in a span are dropped by the epoch fence and retried.
+    crash_spans: Vec<CrashWindow>,
 }
 
 impl Delivery {
@@ -86,13 +95,31 @@ impl Delivery {
     /// processors.
     pub fn record(scenario: Arc<Scenario>, nprocs: usize) -> Delivery {
         let chaotic = scenario.is_chaotic();
-        let journal = DeliveryJournal::new(&scenario.name, scenario.seed);
+        let mut journal = DeliveryJournal::new(&scenario.name, scenario.seed);
+        // The crash schedule changes protocol behaviour, not just
+        // delivery fates, so a replaying run must re-fire it from the
+        // journal: copy it in now.
+        journal.faults = scenario
+            .faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FaultKind::ProcCrash { .. }
+                        | FaultKind::ProcRestart { .. }
+                        | FaultKind::HomeFailover { .. }
+                )
+            })
+            .copied()
+            .collect();
+        let crash_spans = crash_windows(&scenario.faults);
         Delivery {
             scenario,
             nprocs,
             link_seq: vec![0; nprocs * nprocs],
             mode: Mode::Record(journal),
             chaotic,
+            crash_spans,
         }
     }
 
@@ -121,9 +148,11 @@ impl Delivery {
             link.push(i as u32);
         }
         let chaotic = !journal.events.is_empty();
+        let crash_spans = crash_windows(&journal.faults);
         let scenario = Scenario {
             name: journal.scenario.clone(),
             seed: journal.seed,
+            faults: journal.faults.clone(),
             ..Scenario::perfect()
         }
         .into_arc();
@@ -137,6 +166,7 @@ impl Delivery {
                 by_link,
             }),
             chaotic,
+            crash_spans,
         })
     }
 
@@ -215,6 +245,15 @@ impl Delivery {
             .fold(None, |acc, e| Some(acc.map_or(e, |a: SimTime| a.max(e))))
     }
 
+    /// Whether either endpoint's incarnation is dead at `t` (crashed and
+    /// not yet restarted): the copy is from, or addressed to, a dead
+    /// epoch, so the receiver's epoch fence discards it.
+    fn epoch_fenced(&self, src: usize, dst: usize, t: SimTime) -> bool {
+        self.crash_spans
+            .iter()
+            .any(|w| w.covers(src as u32, t) || w.covers(dst as u32, t))
+    }
+
     /// Whether a link-down window covers `src -> dst` at `t`.
     fn link_down(&self, src: usize, dst: usize, t: SimTime) -> bool {
         self.scenario.faults.iter().any(|f| {
@@ -256,6 +295,7 @@ impl Delivery {
         let mut wait = SimTime::ZERO;
         let mut delay = SimTime::ZERO;
         let mut drops = 0u32;
+        let mut edrops = 0u32;
         let mut t = now;
         let dup;
         loop {
@@ -265,12 +305,29 @@ impl Delivery {
                 delay += end - t;
                 t = end;
             }
+            // Epoch fence: a copy landing while an endpoint's incarnation
+            // is dead is discarded by the receiver; the sender backs off
+            // and retries. Fence drops are deterministic schedule
+            // effects, so they never count against `max_retries` (the
+            // down window is finite, so the retry loop always escapes).
+            if self.epoch_fenced(src, dst, t) {
+                let timeout = retry.timeout_for(drops + edrops);
+                net.note_epoch_drop();
+                net.note_timeout_wait();
+                wait += timeout;
+                t += timeout;
+                edrops += 1;
+                // The resend is real traffic.
+                net.record(kind, payload);
+                net.note_retransmission();
+                continue;
+            }
             let burst = self.burst_loss(t);
             let loss_ppm = profile.loss_ppm.max(burst);
             let lost = self.link_down(src, dst, t)
                 || self.ppm_hit(src, dst, seq, SALT_LOSS ^ (drops as u64) << 8, loss_ppm);
             if lost && drops < retry.max_retries {
-                let timeout = retry.timeout_for(drops);
+                let timeout = retry.timeout_for(drops + edrops);
                 net.note_drop();
                 net.note_timeout_wait();
                 wait += timeout;
@@ -301,7 +358,7 @@ impl Delivery {
             }
             break;
         }
-        if drops > 0 || delay > SimTime::ZERO || dup {
+        if drops > 0 || delay > SimTime::ZERO || dup || edrops > 0 {
             let Mode::Record(journal) = &mut self.mode else {
                 unreachable!("transmit_record only runs in record mode")
             };
@@ -314,11 +371,13 @@ impl Delivery {
                 wait,
                 delay,
                 dup,
+                edrops,
             });
         }
         DeliveryOutcome {
             extra: wait + delay,
             duplicated: dup,
+            epoch_drops: edrops,
         }
     }
 
@@ -353,6 +412,12 @@ impl Delivery {
             ev.kind, kind
         );
         cur.cursor[link] += 1;
+        for _ in 0..ev.edrops {
+            net.note_epoch_drop();
+            net.note_timeout_wait();
+            net.record(kind, payload);
+            net.note_retransmission();
+        }
         for _ in 0..ev.drops {
             net.note_drop();
             net.note_timeout_wait();
@@ -366,6 +431,7 @@ impl Delivery {
         DeliveryOutcome {
             extra: ev.wait + ev.delay,
             duplicated: ev.dup,
+            epoch_drops: ev.edrops,
         }
     }
 }
@@ -490,6 +556,7 @@ mod tests {
             wait: SimTime::from_ms(2),
             delay: SimTime::ZERO,
             dup: false,
+            edrops: 0,
         });
         assert!(Delivery::replay(j, 4).is_err());
     }
@@ -588,6 +655,90 @@ mod tests {
         );
         assert_eq!(o.extra, SimTime::from_ms(4), "held until the window ends");
         assert_eq!(net.dropped_msgs(), 0);
+    }
+
+    #[test]
+    fn epoch_fence_drops_copies_to_a_dead_proc_until_restart() {
+        let sc = {
+            let mut s = Scenario::perfect();
+            s.name = "crash".to_string();
+            s.faults.push(Fault {
+                at: SimTime::ZERO,
+                duration: SimTime::ZERO,
+                kind: FaultKind::ProcCrash { proc: 1 },
+            });
+            s.faults.push(Fault {
+                at: SimTime::from_ms(5),
+                duration: SimTime::ZERO,
+                kind: FaultKind::ProcRestart { proc: 1 },
+            });
+            s.into_arc()
+        };
+        let mut d = Delivery::record(Arc::clone(&sc), 2);
+        let mut net = NetStats::new();
+        let o = d.transmit(
+            MsgKind::PageRequest,
+            16,
+            0,
+            1,
+            SimTime::ZERO,
+            SimTime::from_us(500),
+            &mut net,
+        );
+        // Fenced at t=0 (down), retried at 2ms (down), delivered at
+        // 2+4=6ms, past the 5ms restart.
+        assert_eq!(o.epoch_drops, 2);
+        assert_eq!(net.epoch_drops(), 2);
+        assert_eq!(net.dropped_msgs(), 0, "fence drops are not random loss");
+        assert_eq!(o.extra, SimTime::from_ms(6));
+        // After the restart the link is clean again.
+        let o2 = d.transmit(
+            MsgKind::PageRequest,
+            16,
+            0,
+            1,
+            SimTime::from_ms(7),
+            SimTime::from_us(500),
+            &mut net,
+        );
+        assert_eq!(o2, DeliveryOutcome::CLEAN);
+        // The journal replays the fence bit-identically and carries the
+        // crash schedule itself.
+        let journal = d.into_journal().unwrap();
+        assert_eq!(journal.faults.len(), 2);
+        let parsed = DeliveryJournal::parse(&journal.to_text()).unwrap();
+        let mut rep = Delivery::replay(parsed, 2).unwrap();
+        let mut net2 = NetStats::new();
+        let r = rep.transmit(
+            MsgKind::PageRequest,
+            16,
+            0,
+            1,
+            SimTime::ZERO,
+            SimTime::from_us(500),
+            &mut net2,
+        );
+        assert_eq!(r, o);
+        assert_eq!(net2.epoch_drops(), 2);
+    }
+
+    #[test]
+    fn instant_reboot_crash_produces_no_fence_drops() {
+        let sc = {
+            let mut s = Scenario::perfect();
+            s.name = "instant".to_string();
+            s.faults.push(Fault {
+                at: SimTime::from_ms(1),
+                duration: SimTime::ZERO,
+                kind: FaultKind::ProcCrash { proc: 1 },
+            });
+            s.into_arc()
+        };
+        let mut d = Delivery::record(sc, 2);
+        let (outs, net) = run_sequence(&mut d, 50);
+        assert!(outs.iter().all(|o| *o == DeliveryOutcome::CLEAN));
+        assert_eq!(net.epoch_drops(), 0);
+        assert!(d.into_journal().unwrap().events.is_empty());
     }
 
     #[test]

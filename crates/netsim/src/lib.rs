@@ -27,7 +27,10 @@ mod trace;
 pub use cost::CostModel;
 pub use delivery::{Delivery, DeliveryOutcome};
 pub use replay::{DeliveryJournal, JournalEvent};
-pub use scenario::{Fault, FaultKind, LinkProfile, RetryPolicy, Scenario, ScenarioParseError};
+pub use scenario::{
+    crash_windows, CrashWindow, Fault, FaultKind, LinkProfile, RetryPolicy, Scenario,
+    ScenarioParseError,
+};
 pub use stats::{MsgKind, NetStats, MSG_HEADER_BYTES};
 pub use time::SimTime;
 pub use trace::{Trace, TraceKind, TracePoint};

@@ -11,7 +11,7 @@
 //! mode never consults the scenario's PRNG, it just re-applies the
 //! recorded fates in per-link sequence order.
 
-use crate::scenario::ScenarioParseError;
+use crate::scenario::{Fault, ScenarioParseError};
 use crate::{MsgKind, SimTime};
 use std::fmt;
 
@@ -38,6 +38,12 @@ pub struct JournalEvent {
     pub delay: SimTime,
     /// Whether the receiver saw a second (suppressed) copy.
     pub dup: bool,
+    /// Copies dropped by the epoch fence: the destination's incarnation
+    /// was dead (crashed, not yet restarted) when the copy arrived, so
+    /// the receiver discarded it and the sender retried. Serialized only
+    /// when nonzero, so fault-free journals are byte-identical to the
+    /// pre-crash format.
+    pub edrops: u32,
 }
 
 /// A serialized chaos run: scenario identity plus every deviation, in
@@ -51,6 +57,13 @@ pub struct DeliveryJournal {
     /// Deviations in record order (per-link seq is non-decreasing within
     /// each link).
     pub events: Vec<JournalEvent>,
+    /// The scenario's crash schedule (`ProcCrash` / `ProcRestart` /
+    /// `HomeFailover` faults), copied into the journal at record time.
+    /// Unlike delivery fates, these events change *protocol* behaviour —
+    /// a replaying run re-fires them from here, since replay never sees
+    /// the original scenario. Empty for crash-free runs, keeping their
+    /// journals byte-identical to the pre-crash format.
+    pub faults: Vec<Fault>,
 }
 
 impl DeliveryJournal {
@@ -60,6 +73,7 @@ impl DeliveryJournal {
             scenario: scenario.to_string(),
             seed,
             events: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -80,8 +94,11 @@ impl DeliveryJournal {
         out.push_str("journal v1\n");
         let _ = writeln!(out, "scenario {}", self.scenario);
         let _ = writeln!(out, "seed {}", self.seed);
+        for f in &self.faults {
+            let _ = writeln!(out, "{}", f.to_line());
+        }
         for e in &self.events {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "event src={} dst={} seq={} kind={} drops={} wait_ns={} delay_ns={} dup={}",
                 e.src,
@@ -93,6 +110,10 @@ impl DeliveryJournal {
                 e.delay.as_ns(),
                 u8::from(e.dup)
             );
+            if e.edrops > 0 {
+                let _ = write!(out, " edrops={}", e.edrops);
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "end {}", self.events.len());
         out
@@ -139,6 +160,12 @@ impl DeliveryJournal {
                         .ok_or_else(|| perr(n, "missing kind=".to_string()))?;
                     let kind = MsgKind::from_label(kind_label)
                         .ok_or_else(|| perr(n, format!("unknown kind '{kind_label}'")))?;
+                    // Optional: absent on fault-free journals.
+                    let edrops = if rest.contains("edrops=") {
+                        get("edrops")? as u32
+                    } else {
+                        0
+                    };
                     j.events.push(JournalEvent {
                         src: get("src")? as u32,
                         dst: get("dst")? as u32,
@@ -148,8 +175,10 @@ impl DeliveryJournal {
                         wait: SimTime::from_ns(get("wait_ns")?),
                         delay: SimTime::from_ns(get("delay_ns")?),
                         dup: get("dup")? != 0,
+                        edrops,
                     });
                 }
+                "fault" => j.faults.push(Fault::parse_tail(n, rest)?),
                 "end" => {
                     let count: usize = rest
                         .parse()
@@ -202,6 +231,7 @@ mod tests {
                     wait: SimTime::from_ms(6),
                     delay: SimTime::from_ns(123),
                     dup: false,
+                    edrops: 0,
                 },
                 JournalEvent {
                     src: 3,
@@ -212,8 +242,10 @@ mod tests {
                     wait: SimTime::ZERO,
                     delay: SimTime::ZERO,
                     dup: true,
+                    edrops: 0,
                 },
             ],
+            faults: Vec::new(),
         }
     }
 
@@ -243,6 +275,41 @@ mod tests {
         let text = sample().to_text();
         let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
         assert!(DeliveryJournal::parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn fault_free_journal_text_carries_no_crash_fields() {
+        let text = sample().to_text();
+        assert!(!text.contains("edrops="));
+        assert!(!text.contains("fault "));
+    }
+
+    #[test]
+    fn crash_schedule_and_epoch_drops_round_trip() {
+        use crate::scenario::FaultKind;
+        let mut j = sample();
+        j.events[0].edrops = 3;
+        j.faults = vec![
+            Fault {
+                at: SimTime::from_ms(2),
+                duration: SimTime::ZERO,
+                kind: FaultKind::ProcCrash { proc: 1 },
+            },
+            Fault {
+                at: SimTime::from_ms(4),
+                duration: SimTime::ZERO,
+                kind: FaultKind::ProcRestart { proc: 1 },
+            },
+            Fault {
+                at: SimTime::from_ms(6),
+                duration: SimTime::ZERO,
+                kind: FaultKind::HomeFailover { home: 2 },
+            },
+        ];
+        let text = j.to_text();
+        assert!(text.contains("edrops=3"));
+        assert!(text.contains("crash proc=1"));
+        assert_eq!(DeliveryJournal::parse(&text).unwrap(), j);
     }
 
     #[test]

@@ -139,6 +139,35 @@ pub enum FaultKind {
         /// Loss floor (ppm) while the burst is active.
         loss_ppm: u32,
     },
+    /// The processor's DSM incarnation dies. The crash takes effect at
+    /// the processor's first barrier arrival at or after `at` (the
+    /// arriving interval is committed to the replicated interval log
+    /// first, SC-ABD style, then the incarnation's cached state — page
+    /// copies, twins, notice frontier — is lost and its epoch number is
+    /// bumped). The processor is *down* from `at` until its matching
+    /// [`FaultKind::ProcRestart`] (or, with none scheduled, until the
+    /// window's own `at + duration`); transmissions addressed to it in
+    /// that span are dropped by the epoch fence and retried.
+    ProcCrash {
+        /// The crashing processor.
+        proc: u32,
+    },
+    /// Ends the down window opened by the most recent
+    /// [`FaultKind::ProcCrash`] of the same processor: the restarted
+    /// incarnation rebuilds its view from the interval log and resumes.
+    ProcRestart {
+        /// The restarting processor.
+        proc: u32,
+    },
+    /// Planned failover of an HLRC home node: at the first barrier
+    /// completion at or after `at`, every page homed at `home` is
+    /// promoted to its replicated backup home and readers are redirected
+    /// through the directory. Requires the backup flush stream
+    /// (HLRC home replication) to be enabled.
+    HomeFailover {
+        /// The home processor being decommissioned.
+        home: u32,
+    },
 }
 
 /// One scheduled fault window on the virtual-time axis.
@@ -162,6 +191,131 @@ impl Fault {
     pub fn end(&self) -> SimTime {
         self.at + self.duration
     }
+
+    /// One canonical text line (`fault at_ns=… dur_ns=… <kind> …`),
+    /// shared by the scenario format and the journal's crash-schedule
+    /// section.
+    pub fn to_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "fault at_ns={} dur_ns={} ",
+            self.at.as_ns(),
+            self.duration.as_ns()
+        );
+        match self.kind {
+            FaultKind::LinkDown { src, dst } => {
+                let fmt_end = |e: Option<u32>| match e {
+                    Some(v) => v.to_string(),
+                    None => "*".to_string(),
+                };
+                let _ = write!(out, "down src={} dst={}", fmt_end(src), fmt_end(dst));
+            }
+            FaultKind::ProcStall { proc } => {
+                let _ = write!(out, "stall proc={proc}");
+            }
+            FaultKind::LossBurst { loss_ppm } => {
+                let _ = write!(out, "burst loss_ppm={loss_ppm}");
+            }
+            FaultKind::ProcCrash { proc } => {
+                let _ = write!(out, "crash proc={proc}");
+            }
+            FaultKind::ProcRestart { proc } => {
+                let _ = write!(out, "restart proc={proc}");
+            }
+            FaultKind::HomeFailover { home } => {
+                let _ = write!(out, "failover home={home}");
+            }
+        }
+        out
+    }
+
+    /// Parses the `key=value` tail of a fault line (everything after the
+    /// `fault ` directive). `line_no` seeds error positions.
+    pub fn parse_tail(line_no: usize, rest: &str) -> Result<Fault, ScenarioParseError> {
+        let kv = KvLine::new(line_no, rest);
+        let at = SimTime::from_ns(kv.get("at_ns")?);
+        let duration = SimTime::from_ns(kv.get("dur_ns")?);
+        let kind = if kv.has_word("down") {
+            FaultKind::LinkDown {
+                src: kv.get_opt_endpoint("src")?,
+                dst: kv.get_opt_endpoint("dst")?,
+            }
+        } else if kv.has_word("stall") {
+            FaultKind::ProcStall {
+                proc: kv.get("proc")? as u32,
+            }
+        } else if kv.has_word("burst") {
+            FaultKind::LossBurst {
+                loss_ppm: kv.get("loss_ppm")? as u32,
+            }
+        } else if kv.has_word("crash") {
+            FaultKind::ProcCrash {
+                proc: kv.get("proc")? as u32,
+            }
+        } else if kv.has_word("restart") {
+            FaultKind::ProcRestart {
+                proc: kv.get("proc")? as u32,
+            }
+        } else if kv.has_word("failover") {
+            FaultKind::HomeFailover {
+                home: kv.get("home")? as u32,
+            }
+        } else {
+            return Err(err(line_no, format!("unknown fault kind in '{rest}'")));
+        };
+        Ok(Fault { at, duration, kind })
+    }
+}
+
+/// A resolved processor down-time span: `proc` is dead over
+/// `[start, end)`. Built by [`crash_windows`] from a fault schedule's
+/// [`FaultKind::ProcCrash`] / [`FaultKind::ProcRestart`] pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashed processor.
+    pub proc: u32,
+    /// Instant the incarnation dies.
+    pub start: SimTime,
+    /// First instant the restarted incarnation is reachable again. A
+    /// crash with no matching restart and zero duration reboots
+    /// instantly: `end == start`, so no transmission ever lands in the
+    /// window, but the state loss and epoch bump still happen.
+    pub end: SimTime,
+}
+
+impl CrashWindow {
+    /// Whether `proc` is down at virtual time `t`.
+    pub fn covers(&self, proc: u32, t: SimTime) -> bool {
+        self.proc == proc && self.start <= t && t < self.end
+    }
+}
+
+/// Resolves a fault schedule's crash events into down-time windows: each
+/// [`FaultKind::ProcCrash`] pairs with the first
+/// [`FaultKind::ProcRestart`] of the same processor at or after it, or
+/// falls back to its own `at + duration` when none is scheduled.
+pub fn crash_windows(faults: &[Fault]) -> Vec<CrashWindow> {
+    let mut out = Vec::new();
+    for f in faults {
+        if let FaultKind::ProcCrash { proc } = f.kind {
+            let end = faults
+                .iter()
+                .filter_map(|g| match g.kind {
+                    FaultKind::ProcRestart { proc: p } if p == proc && g.at >= f.at => Some(g.at),
+                    _ => None,
+                })
+                .min()
+                .unwrap_or_else(|| f.end());
+            out.push(CrashWindow {
+                proc,
+                start: f.at,
+                end,
+            });
+        }
+    }
+    out
 }
 
 /// A complete chaos scenario: seed, link profiles, fault schedule, and
@@ -315,27 +469,7 @@ impl Scenario {
             link_line(&format!("{s}->{d}"), p, &mut out);
         }
         for f in &self.faults {
-            let _ = write!(
-                out,
-                "fault at_ns={} dur_ns={} ",
-                f.at.as_ns(),
-                f.duration.as_ns()
-            );
-            match f.kind {
-                FaultKind::LinkDown { src, dst } => {
-                    let fmt_end = |e: Option<u32>| match e {
-                        Some(v) => v.to_string(),
-                        None => "*".to_string(),
-                    };
-                    let _ = writeln!(out, "down src={} dst={}", fmt_end(src), fmt_end(dst));
-                }
-                FaultKind::ProcStall { proc } => {
-                    let _ = writeln!(out, "stall proc={proc}");
-                }
-                FaultKind::LossBurst { loss_ppm } => {
-                    let _ = writeln!(out, "burst loss_ppm={loss_ppm}");
-                }
-            }
+            let _ = writeln!(out, "{}", f.to_line());
         }
         out
     }
@@ -404,28 +538,7 @@ impl Scenario {
                         ));
                     }
                 }
-                "fault" => {
-                    let kv = KvLine::new(n, rest);
-                    let at = SimTime::from_ns(kv.get("at_ns")?);
-                    let duration = SimTime::from_ns(kv.get("dur_ns")?);
-                    let kind = if kv.has_word("down") {
-                        FaultKind::LinkDown {
-                            src: kv.get_opt_endpoint("src")?,
-                            dst: kv.get_opt_endpoint("dst")?,
-                        }
-                    } else if kv.has_word("stall") {
-                        FaultKind::ProcStall {
-                            proc: kv.get("proc")? as u32,
-                        }
-                    } else if kv.has_word("burst") {
-                        FaultKind::LossBurst {
-                            loss_ppm: kv.get("loss_ppm")? as u32,
-                        }
-                    } else {
-                        return Err(err(n, format!("unknown fault kind in '{rest}'")));
-                    };
-                    sc.faults.push(Fault { at, duration, kind });
-                }
+                "fault" => sc.faults.push(Fault::parse_tail(n, rest)?),
                 other => return Err(err(n, format!("unknown directive '{other}'"))),
             }
         }
@@ -547,6 +660,21 @@ mod tests {
                     duration: SimTime::from_ms(1),
                     kind: FaultKind::LossBurst { loss_ppm: 400_000 },
                 },
+                Fault {
+                    at: SimTime::from_ms(13),
+                    duration: SimTime::ZERO,
+                    kind: FaultKind::ProcCrash { proc: 1 },
+                },
+                Fault {
+                    at: SimTime::from_ms(14),
+                    duration: SimTime::ZERO,
+                    kind: FaultKind::ProcRestart { proc: 1 },
+                },
+                Fault {
+                    at: SimTime::from_ms(15),
+                    duration: SimTime::ZERO,
+                    kind: FaultKind::HomeFailover { home: 0 },
+                },
             ],
             retry: RetryPolicy {
                 timeout: SimTime::from_us(500),
@@ -591,6 +719,63 @@ mod tests {
         assert!(f.active_at(SimTime::from_ms(10)));
         assert!(f.active_at(SimTime::from_ns(14_999_999)));
         assert!(!f.active_at(SimTime::from_ms(15)));
+    }
+
+    #[test]
+    fn crash_windows_pair_crash_with_first_following_restart() {
+        let ev = |at_ms: u64, kind| Fault {
+            at: SimTime::from_ms(at_ms),
+            duration: SimTime::ZERO,
+            kind,
+        };
+        let faults = vec![
+            ev(10, FaultKind::ProcCrash { proc: 2 }),
+            ev(12, FaultKind::ProcRestart { proc: 2 }),
+            ev(20, FaultKind::ProcCrash { proc: 2 }),
+            ev(30, FaultKind::ProcRestart { proc: 2 }),
+            // Restart of another proc must not close proc 2's window.
+            ev(21, FaultKind::ProcRestart { proc: 1 }),
+            Fault {
+                at: SimTime::from_ms(40),
+                duration: SimTime::from_ms(5),
+                kind: FaultKind::ProcCrash { proc: 3 },
+            },
+        ];
+        let w = crash_windows(&faults);
+        assert_eq!(w.len(), 3);
+        assert_eq!(
+            (w[0].proc, w[0].start, w[0].end),
+            (2, SimTime::from_ms(10), SimTime::from_ms(12))
+        );
+        assert_eq!(
+            (w[1].proc, w[1].start, w[1].end),
+            (2, SimTime::from_ms(20), SimTime::from_ms(30))
+        );
+        // No restart scheduled: fall back to the crash's own duration.
+        assert_eq!(
+            (w[2].proc, w[2].start, w[2].end),
+            (3, SimTime::from_ms(40), SimTime::from_ms(45))
+        );
+        assert!(w[0].covers(2, SimTime::from_ms(11)));
+        assert!(!w[0].covers(2, SimTime::from_ms(12)), "window is half-open");
+        assert!(!w[0].covers(1, SimTime::from_ms(11)));
+        // An instant-reboot crash has an empty window but still exists.
+        let instant = crash_windows(&[ev(5, FaultKind::ProcCrash { proc: 0 })]);
+        assert_eq!(instant[0].start, instant[0].end);
+        assert!(!instant[0].covers(0, SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn crash_faults_make_a_scenario_chaotic() {
+        let mut sc = Scenario::perfect();
+        sc.name = "crash-only".to_string();
+        sc.faults.push(Fault {
+            at: SimTime::ZERO,
+            duration: SimTime::ZERO,
+            kind: FaultKind::ProcCrash { proc: 1 },
+        });
+        assert!(sc.is_chaotic());
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
     }
 
     #[test]

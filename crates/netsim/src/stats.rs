@@ -142,6 +142,11 @@ pub struct NetStats {
     dropped_msgs: u64,
     duplicate_msgs: u64,
     timeout_waits: u64,
+    /// Copies discarded by the Hermes-style epoch fence (destination's
+    /// incarnation was dead when the copy arrived). Not counted into
+    /// `dropped_msgs`: fence drops are deterministic schedule effects,
+    /// not random loss.
+    epoch_drops: u64,
 }
 
 impl NetStats {
@@ -223,6 +228,16 @@ impl NetStats {
         self.timeout_waits += 1;
     }
 
+    /// Copies discarded by the epoch fence at a dead destination.
+    pub fn epoch_drops(&self) -> u64 {
+        self.epoch_drops
+    }
+
+    /// Counts one epoch-fence discard (delivery layer only).
+    pub fn note_epoch_drop(&mut self) {
+        self.epoch_drops += 1;
+    }
+
     /// Merges another statistics object into this one.
     pub fn merge(&mut self, other: &NetStats) {
         for i in 0..MsgKind::ALL.len() {
@@ -233,6 +248,7 @@ impl NetStats {
         self.dropped_msgs += other.dropped_msgs;
         self.duplicate_msgs += other.duplicate_msgs;
         self.timeout_waits += other.timeout_waits;
+        self.epoch_drops += other.epoch_drops;
     }
 
     /// Iterates over `(kind, messages, bytes)` triples with nonzero

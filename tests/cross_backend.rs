@@ -249,6 +249,71 @@ fn threads_backend_matches_simulator_at_64_procs() {
     }
 }
 
+/// Crash-recovery parity: a scheduled processor crash with instant
+/// restart must recover on BOTH backends and leave no trace the oracle
+/// can distinguish — byte-identical final images and exactly equal
+/// recovery counter totals (`proc_crashes`, `epoch_drops`,
+/// `recovery_refetches`). The crash is scheduled at 1 ns so it fires at
+/// the victim's *first* durable-commit point on either backend: commit
+/// points are program structure, not timing, so the wipe happens at the
+/// same episode even though the two backends disagree about virtual
+/// time. Combos are drawn from the interleaving-independent set pinned
+/// by `threads_backend_stat_totals_match_the_simulator`.
+#[test]
+fn threads_backend_agrees_with_simulator_under_crash() {
+    use adsm::netsim::{Fault, FaultKind, Scenario, SimTime};
+
+    for (app, proto, victim) in [
+        (App::Sor, ProtocolKind::Mw, 3u32),
+        (App::Sor, ProtocolKind::Hlrc, 3),
+        (App::Fft3d, ProtocolKind::Mw, 1),
+    ] {
+        let nprocs = procs_for(app);
+        let mut s = Scenario::perfect();
+        s.name = "cross-backend-crash".to_string();
+        s.faults = vec![Fault {
+            at: SimTime::from_ns(1),
+            duration: SimTime::ZERO,
+            kind: FaultKind::ProcCrash { proc: victim },
+        }];
+        let run_with = |backend: ExecBackend| {
+            run_app_tuned(
+                app,
+                proto,
+                nprocs,
+                Scale::Tiny,
+                &RunOptions {
+                    scenario: Some(s.clone()),
+                    backend,
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let sim = run_with(ExecBackend::Sim);
+        assert!(sim.ok, "{app}/{proto} sim crash: {}", sim.detail);
+        let thr = run_with(ExecBackend::Threads);
+        assert!(thr.ok, "{app}/{proto} threads crash: {}", thr.detail);
+
+        for r in [&sim.outcome.report, &thr.outcome.report] {
+            assert_eq!(r.proto.proc_crashes, 1, "{app}/{proto}: crash never fired");
+        }
+        assert_eq!(
+            image_hash(sim.outcome.image()),
+            image_hash(thr.outcome.image()),
+            "{app}/{proto}: post-recovery images diverged across backends"
+        );
+        assert_eq!(
+            sim.outcome.report.proto.epoch_drops, thr.outcome.report.proto.epoch_drops,
+            "{app}/{proto}: epoch_drops diverged across backends"
+        );
+        assert_eq!(
+            sim.outcome.report.proto.recovery_refetches,
+            thr.outcome.report.proto.recovery_refetches,
+            "{app}/{proto}: recovery_refetches diverged across backends"
+        );
+    }
+}
+
 /// Lock-heavy stress under real parallelism: many short exclusive
 /// critical sections hammering the shim mutex/condvar park paths. A
 /// lost wakeup deadlocks (caught by the backend's positional deadlock

@@ -75,6 +75,60 @@ fn ilink_is_schedule_independent() {
     fuzz(App::Ilink, 4, &[3]);
 }
 
+/// Crash recovery under fuzzed schedules: a scheduled crash must
+/// recover — and still verify against the sequential reference — no
+/// matter which causally-valid interleaving the engine picks around
+/// the crash point. The crash instant stays fixed while the fuzz seed
+/// reshuffles which protocol actions surround it, so successive seeds
+/// move the wipe relative to in-flight fetches, lock handoffs and
+/// barrier episodes.
+#[test]
+fn crash_recovery_is_schedule_independent() {
+    use adsm::netsim::{Fault, FaultKind, Scenario, SimTime};
+
+    // SOR is barrier-structured, TSP is locks-only: between them the
+    // crash lands on both kinds of durable-commit point.
+    for (app, nprocs, victim) in [(App::Sor, 4usize, 3u32), (App::Tsp, 4, 2)] {
+        for protocol in [ProtocolKind::Wfs, ProtocolKind::Mw, ProtocolKind::Hlrc] {
+            // Yardstick: the un-fuzzed fault-free run time positions
+            // the crash mid-run.
+            let plain = run_app_tuned(app, protocol, nprocs, Scale::Tiny, &RunOptions::default());
+            assert!(plain.ok, "{app}/{protocol} plain: {}", plain.detail);
+            let mid = plain.outcome.report.time.as_ns() / 2;
+
+            for &seed in &[3u64, 0x5EED, 0xC4A5] {
+                let mut s = Scenario::perfect();
+                s.name = "fuzzed-crash".to_string();
+                s.faults = vec![Fault {
+                    at: SimTime::from_ns(mid),
+                    duration: SimTime::ZERO,
+                    kind: FaultKind::ProcCrash { proc: victim },
+                }];
+                let run = run_app_tuned(
+                    app,
+                    protocol,
+                    nprocs,
+                    Scale::Tiny,
+                    &RunOptions {
+                        schedule_fuzz: Some(seed),
+                        scenario: Some(s),
+                        ..RunOptions::default()
+                    },
+                );
+                assert!(
+                    run.ok,
+                    "{app}/{protocol} crash under fuzz seed {seed}: {}",
+                    run.detail
+                );
+                assert_eq!(
+                    run.outcome.report.proto.proc_crashes, 1,
+                    "{app}/{protocol} seed {seed}: crash never fired"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn fuzzed_runs_reproduce_per_seed() {
     // Same seed, same protocol: byte-identical traffic and timing.
